@@ -1,0 +1,96 @@
+// harmony-master runs the live Harmony master: it waits for workers to
+// register, then accepts job submissions. With -demo it submits a small
+// co-located training mix itself and reports progress — handy for trying
+// the runtime end to end together with harmony-worker processes.
+//
+//	harmony-master -listen 127.0.0.1:7070 -workers 3 -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "harmony-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("harmony-master", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7070", "address to serve workers on")
+	workers := fs.Int("workers", 2, "number of workers to wait for")
+	wait := fs.Duration("wait", 5*time.Minute, "how long to wait for workers")
+	demo := fs.Bool("demo", false, "submit a demo workload once workers join")
+	iterations := fs.Int("iterations", 20, "demo job iterations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := harmony.StartMaster(*listen, harmony.ScheduleOptions{})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	fmt.Printf("master listening on %s, waiting for %d workers...\n", m.Addr(), *workers)
+	if err := m.WaitForWorkers(*workers, *wait); err != nil {
+		return err
+	}
+	fmt.Printf("workers registered: %v\n", m.Workers())
+
+	if !*demo {
+		fmt.Println("running until interrupted (submit jobs programmatically via the harmony package)")
+		select {}
+	}
+
+	specs := []harmony.Training{
+		{
+			Name:       "mlr",
+			Config:     harmony.TrainingConfig{Algorithm: "mlr", Features: 32, Classes: 4, Rows: 512},
+			Iterations: *iterations,
+			Alpha:      0.3,
+			Seed:       1,
+		},
+		{
+			Name:       "lasso",
+			Config:     harmony.TrainingConfig{Algorithm: "lasso", Features: 32, Rows: 384, Lambda: 0.02},
+			Iterations: *iterations,
+			Seed:       2,
+		},
+		{
+			Name:       "lda",
+			Config:     harmony.TrainingConfig{Algorithm: "lda", Features: 48, Classes: 4, Rows: 256},
+			Iterations: *iterations,
+			Seed:       3,
+		},
+	}
+	for _, s := range specs {
+		if err := m.Submit(s); err != nil {
+			return err
+		}
+		fmt.Printf("submitted %s (%s)\n", s.Name, s.Config.Algorithm)
+	}
+	for _, s := range specs {
+		if err := m.Wait(s.Name, 10*time.Minute); err != nil {
+			return err
+		}
+		iter, loss, _, err := m.Progress(s.Name)
+		if err != nil {
+			return err
+		}
+		prof, _ := m.ProfiledJob(s.Name)
+		fmt.Printf("%-6s finished at iteration %d, loss %.4f, profiled comp/comm %.1f/%.1f ms\n",
+			s.Name, iter, loss, prof.CompSeconds*1000, prof.NetSeconds*1000)
+	}
+	cpu, net, err := m.Utilization()
+	if err == nil {
+		fmt.Printf("worker executors: CPU %.0f%%, network %.0f%%\n", cpu*100, net*100)
+	}
+	return nil
+}

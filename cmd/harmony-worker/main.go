@@ -1,0 +1,58 @@
+// harmony-worker runs one live Harmony worker: it serves a co-located
+// parameter server, registers with the master, and executes assigned jobs
+// through the subtask runner queues until interrupted.
+//
+//	harmony-worker -name w0 -master 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "harmony-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("harmony-worker", flag.ContinueOnError)
+	name := fs.String("name", "", "unique worker name (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "address to serve the parameter server on")
+	master := fs.String("master", "127.0.0.1:7070", "master address")
+	spill := fs.String("spill", "", "directory for spilled input blocks (default: temp dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	dir := *spill
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "harmony-worker-"+*name)
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	w, err := harmony.StartWorker(*name, *listen, *master, dir)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Printf("worker %s registered with master %s (spill dir %s)\n", *name, *master, dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

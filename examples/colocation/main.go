@@ -1,0 +1,63 @@
+// Colocation retells the paper's motivation (Fig. 4 and Fig. 5): naively
+// co-locating PS jobs averages utilization out at ~50% and can blow past
+// machine memory, while Harmony's subtask multiplexing drives both
+// resources high on the same machines.
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Jobs with complementary resource usage — computation-heavy,
+	// communication-heavy, and balanced — the mix the paper's grouping
+	// seeks out (§IV-B).
+	jobs := []harmony.WorkloadJob{
+		{Job: harmony.Job{
+			ID: "nmf-compute", CompSeconds: 1920, NetSeconds: 30,
+			InputGB: 5, ModelGB: 0.5, WorkGB: 0.5,
+		}, Iterations: 40},
+		{Job: harmony.Job{
+			ID: "lasso-comm", CompSeconds: 240, NetSeconds: 130,
+			InputGB: 6, ModelGB: 1.5, WorkGB: 0.5,
+		}, Iterations: 40},
+		{Job: harmony.Job{
+			ID: "lda-balanced", CompSeconds: 960, NetSeconds: 60,
+			InputGB: 3, ModelGB: 1.0, WorkGB: 0.5,
+		}, Iterations: 40},
+	}
+
+	for _, setup := range []struct {
+		name      string
+		scheduler harmony.Scheduler
+	}{
+		{"each job on its own machines (isolated)", harmony.IsolatedScheduler},
+		{"uncoordinated sharing (naive)", harmony.NaiveScheduler},
+		{"subtask multiplexing (harmony)", harmony.HarmonyScheduler},
+	} {
+		rep, err := harmony.Simulate(harmony.SimConfig{
+			Machines: 16, Scheduler: setup.scheduler, Seed: 1}, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-42s CPU %3.0f%%  net %3.0f%%  makespan %s\n",
+			setup.name, rep.CPUUtil*100, rep.NetUtil*100, rep.Makespan.Round(1e9))
+	}
+
+	fmt.Println()
+	fmt.Println("With subtask multiplexing, one job computes while the others")
+	fmt.Println("communicate (Fig. 5b); without coordination their phases collide,")
+	fmt.Println("and with dedicated machines the resources simply idle (Fig. 2).")
+	return nil
+}

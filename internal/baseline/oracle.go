@@ -1,0 +1,245 @@
+// Package baseline implements the comparison schedulers of §V: the
+// exhaustive-search Oracle that §V-F uses as ground truth for Harmony's
+// scheduling decisions. (The isolated and naively co-located execution
+// baselines live in the simulator, where their runtime behaviour is
+// modelled; the Oracle is a pure planner and is comparable head-to-head
+// with core.Schedule.)
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"harmony/internal/core"
+)
+
+// ExhaustiveLimit is the largest job count for which Oracle enumerates
+// every grouping exactly; the search space grows as the Bell numbers, and
+// beyond ~12 jobs exact enumeration is what makes the paper's Oracle take
+// "about 10 hours" for thousands of jobs.
+const ExhaustiveLimit = 12
+
+// Oracle searches for the grouping that maximizes the scheduling score.
+// Up to ExhaustiveLimit jobs it enumerates all set partitions (with
+// machine allocation per partition); beyond that it falls back to a
+// large-budget local search (simulated annealing) which in practice finds
+// near-optimal groupings — the role the exhaustive search plays in
+// Fig. 14, at a cost orders of magnitude above Algorithm 1's.
+func Oracle(jobs []core.JobInfo, machines int, opts core.Options) core.Plan {
+	if len(jobs) == 0 || machines <= 0 {
+		return core.Plan{}
+	}
+	if len(jobs) <= ExhaustiveLimit {
+		return exhaustive(jobs, machines, opts)
+	}
+	return anneal(jobs, machines, opts, 42)
+}
+
+// exhaustive enumerates every partition of jobs into groups, allocates
+// machines to each candidate, and keeps the best-scoring feasible plan.
+// It also considers leaving a suffix of jobs out (the scheduler may run
+// fewer jobs), by treating "waiting" as an extra bucket.
+func exhaustive(jobs []core.JobInfo, machines int, opts core.Options) core.Plan {
+	best := core.Plan{}
+	bestScore := -1.0
+
+	assignment := make([]int, len(jobs)) // group index per job; -1 = waiting
+	var recurse func(i, nGroups int)
+	recurse = func(i, nGroups int) {
+		if i == len(jobs) {
+			if nGroups == 0 || nGroups > machines {
+				return
+			}
+			plan := buildPlan(jobs, assignment, nGroups, machines)
+			if !Feasible(plan, opts) {
+				return
+			}
+			if score := opts.Score(plan); score > bestScore {
+				bestScore = score
+				best = plan.Clone()
+			}
+			return
+		}
+		// Place job i into each existing group, a new group, or leave it
+		// waiting. Restricting new-group choice to index nGroups avoids
+		// enumerating permutations of the same partition.
+		for g := 0; g <= nGroups && g < machines; g++ {
+			assignment[i] = g
+			next := nGroups
+			if g == nGroups {
+				next++
+			}
+			recurse(i+1, next)
+		}
+		assignment[i] = -1
+		recurse(i+1, nGroups)
+	}
+	recurse(0, 0)
+	return best
+}
+
+func buildPlan(jobs []core.JobInfo, assignment []int, nGroups, machines int) core.Plan {
+	groups := make([]core.Group, nGroups)
+	for i, g := range assignment {
+		if g >= 0 {
+			groups[g].Jobs = append(groups[g].Jobs, jobs[i])
+		}
+	}
+	// Drop empty groups (possible when all of a group's jobs wait).
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g.Jobs) > 0 {
+			kept = append(kept, g)
+		}
+	}
+	groups = kept
+	AllocateMachines(groups, machines)
+	return core.Plan{Groups: groups}
+}
+
+// AllocateMachines distributes machines to maximize the utilization score:
+// one machine each, then marginal allocation to the group whose iteration
+// time shrinks the most (the same water-filling rule as Algorithm 1's
+// allocation step, §IV-B3).
+func AllocateMachines(groups []core.Group, machines int) {
+	if len(groups) == 0 {
+		return
+	}
+	for i := range groups {
+		groups[i].Machines = 1
+	}
+	for spare := machines - len(groups); spare > 0; spare-- {
+		best, bestGain := -1, 0.0
+		for i := range groups {
+			g := groups[i]
+			now := g.IterSeconds()
+			g.Machines++
+			gain := (now - g.IterSeconds()) / math.Max(now, 1e-12)
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				best = i
+			}
+		}
+		if best < 0 {
+			for i := 0; spare > 0; i, spare = (i+1)%len(groups), spare-1 {
+				groups[i].Machines++
+			}
+			return
+		}
+		groups[best].Machines++
+	}
+}
+
+// Feasible checks a plan against the option constraints (group size and
+// per-machine memory with full spill).
+func Feasible(p core.Plan, opts core.Options) bool {
+	for _, g := range p.Groups {
+		if len(g.Jobs) == 0 || g.Machines < 1 {
+			return false
+		}
+		if opts.MaxJobsPerGroup > 0 && len(g.Jobs) > opts.MaxJobsPerGroup {
+			return false
+		}
+		if opts.MemoryCapGB > 0 && g.MinMemoryGB() > opts.MemoryCapGB {
+			return false
+		}
+	}
+	return true
+}
+
+// annealBudgetPerJob sets the local-search budget; large enough that the
+// search approximates the exhaustive optimum while remaining orders of
+// magnitude slower than Algorithm 1 (the point of §V-F's comparison).
+const annealBudgetPerJob = 200
+
+// anneal runs simulated annealing over assignments of jobs to groups
+// (including a waiting bucket), re-allocating machines for every
+// candidate.
+func anneal(jobs []core.JobInfo, machines int, opts core.Options, seed int64) core.Plan {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(jobs)
+	maxGroups := n
+	if machines < maxGroups {
+		maxGroups = machines
+	}
+
+	// Start from Algorithm 1's answer so the search explores around a
+	// good region.
+	current := core.Schedule(jobs, machines, opts)
+	assignment := assignmentOf(jobs, current)
+	score := opts.Score(current)
+	if !Feasible(current, opts) {
+		score = -1
+	}
+	best := current.Clone()
+	bestScore := score
+
+	temp := 0.05
+	budget := annealBudgetPerJob * n
+	if budget < 4000 {
+		budget = 4000
+	}
+	for it := 0; it < budget; it++ {
+		i := rng.Intn(n)
+		old := assignment[i]
+		move := rng.Intn(maxGroups+1) - 1 // -1 = waiting
+		if move == old {
+			continue
+		}
+		assignment[i] = move
+		cand := planFromAssignment(jobs, assignment, maxGroups, machines)
+		candScore := -1.0
+		if Feasible(cand, opts) {
+			candScore = opts.Score(cand)
+		}
+		accept := candScore > score ||
+			(candScore > 0 && rng.Float64() < math.Exp((candScore-score)/math.Max(temp, 1e-6)))
+		if accept {
+			score = candScore
+			if candScore > bestScore {
+				bestScore = candScore
+				best = cand.Clone()
+			}
+		} else {
+			assignment[i] = old
+		}
+		temp *= 0.9995
+	}
+	return best
+}
+
+func assignmentOf(jobs []core.JobInfo, p core.Plan) []int {
+	idx := make(map[string]int)
+	for gi, g := range p.Groups {
+		for _, j := range g.Jobs {
+			idx[j.ID] = gi
+		}
+	}
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		if gi, ok := idx[j.ID]; ok {
+			out[i] = gi
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func planFromAssignment(jobs []core.JobInfo, assignment []int, maxGroups, machines int) core.Plan {
+	groups := make([]core.Group, maxGroups)
+	for i, g := range assignment {
+		if g >= 0 && g < maxGroups {
+			groups[g].Jobs = append(groups[g].Jobs, jobs[i])
+		}
+	}
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g.Jobs) > 0 {
+			kept = append(kept, g)
+		}
+	}
+	groups = kept
+	AllocateMachines(groups, machines)
+	return core.Plan{Groups: groups}
+}

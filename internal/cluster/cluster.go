@@ -1,0 +1,147 @@
+// Package cluster models the physical resources the scheduler divides
+// among job groups: machines with CPU cores, memory, network bandwidth,
+// and local disk.
+//
+// The shapes default to the AWS m4.2xlarge instances used throughout the
+// paper's evaluation (8 vCPUs, 32 GB memory, 1.1 Gbps network).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MachineSpec describes the capacity of one machine.
+type MachineSpec struct {
+	// Cores is the number of CPU cores usable by COMP subtasks.
+	Cores int
+	// MemoryGB is the memory capacity available to co-located jobs.
+	MemoryGB float64
+	// NetGbps is the network bandwidth in gigabits per second.
+	NetGbps float64
+	// DiskMBps is the sequential disk read bandwidth available for
+	// reloading spilled input blocks, in megabytes per second.
+	DiskMBps float64
+}
+
+// M42XLarge is the instance shape used in the paper's evaluation
+// (100 × AWS m4.2xlarge).
+var M42XLarge = MachineSpec{
+	Cores:    8,
+	MemoryGB: 32,
+	NetGbps:  1.1,
+	// gp2-class EBS throughput; block reloads contend with it (§IV-C).
+	DiskMBps: 120,
+}
+
+// Validate reports an error if the spec describes an unusable machine.
+func (s MachineSpec) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("cluster: spec has %d cores, need > 0", s.Cores)
+	case s.MemoryGB <= 0:
+		return fmt.Errorf("cluster: spec has %.1f GB memory, need > 0", s.MemoryGB)
+	case s.NetGbps <= 0:
+		return fmt.Errorf("cluster: spec has %.2f Gbps network, need > 0", s.NetGbps)
+	case s.DiskMBps <= 0:
+		return fmt.Errorf("cluster: spec has %.0f MB/s disk, need > 0", s.DiskMBps)
+	}
+	return nil
+}
+
+// MachineID identifies one machine within a Cluster.
+type MachineID int
+
+// Cluster is a homogeneous pool of machines with allocation bookkeeping.
+// The zero value is unusable; construct with New.
+type Cluster struct {
+	spec  MachineSpec
+	size  int
+	free  map[MachineID]struct{}
+	owner map[MachineID]string // allocated machine -> group name
+}
+
+// New creates a cluster of n machines of the given spec.
+func New(n int, spec MachineSpec) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: size %d, need > 0", n)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		spec:  spec,
+		size:  n,
+		free:  make(map[MachineID]struct{}, n),
+		owner: make(map[MachineID]string, n),
+	}
+	for i := 0; i < n; i++ {
+		c.free[MachineID(i)] = struct{}{}
+	}
+	return c, nil
+}
+
+// Spec reports the machine shape of the cluster.
+func (c *Cluster) Spec() MachineSpec { return c.spec }
+
+// Size reports the total number of machines.
+func (c *Cluster) Size() int { return c.size }
+
+// Free reports the number of unallocated machines.
+func (c *Cluster) Free() int { return len(c.free) }
+
+// Allocated reports the number of machines currently held by groups.
+func (c *Cluster) Allocated() int { return c.size - len(c.free) }
+
+// Alloc reserves n machines for the named owner and returns their ids in
+// ascending order. It fails without side effects if fewer than n machines
+// are free.
+func (c *Cluster) Alloc(owner string, n int) ([]MachineID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: alloc %d machines, need > 0", n)
+	}
+	if n > len(c.free) {
+		return nil, fmt.Errorf("cluster: alloc %d machines for %q, only %d free", n, owner, len(c.free))
+	}
+	ids := make([]MachineID, 0, len(c.free))
+	for id := range c.free {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids = ids[:n]
+	for _, id := range ids {
+		delete(c.free, id)
+		c.owner[id] = owner
+	}
+	return ids, nil
+}
+
+// Release returns machines to the free pool. Releasing a machine that is
+// already free is an error, as it indicates double accounting.
+func (c *Cluster) Release(ids []MachineID) error {
+	for _, id := range ids {
+		if id < 0 || int(id) >= c.size {
+			return fmt.Errorf("cluster: release unknown machine %d", id)
+		}
+		if _, ok := c.free[id]; ok {
+			return fmt.Errorf("cluster: release machine %d which is already free", id)
+		}
+	}
+	for _, id := range ids {
+		delete(c.owner, id)
+		c.free[id] = struct{}{}
+	}
+	return nil
+}
+
+// Owner reports which owner holds the machine, or "" if it is free.
+func (c *Cluster) Owner(id MachineID) string { return c.owner[id] }
+
+// Owners returns a snapshot of owner -> machine count.
+func (c *Cluster) Owners() map[string]int {
+	out := make(map[string]int)
+	for _, owner := range c.owner {
+		out[owner]++
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    MachineSpec
+		wantErr bool
+	}{
+		{name: "m4.2xlarge", spec: M42XLarge, wantErr: false},
+		{name: "zero cores", spec: MachineSpec{Cores: 0, MemoryGB: 1, NetGbps: 1, DiskMBps: 1}, wantErr: true},
+		{name: "zero memory", spec: MachineSpec{Cores: 1, MemoryGB: 0, NetGbps: 1, DiskMBps: 1}, wantErr: true},
+		{name: "zero net", spec: MachineSpec{Cores: 1, MemoryGB: 1, NetGbps: 0, DiskMBps: 1}, wantErr: true},
+		{name: "zero disk", spec: MachineSpec{Cores: 1, MemoryGB: 1, NetGbps: 1, DiskMBps: 0}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.spec.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	if _, err := New(0, M42XLarge); err == nil {
+		t.Error("New(0) succeeded, want error")
+	}
+	if _, err := New(4, MachineSpec{}); err == nil {
+		t.Error("New with zero spec succeeded, want error")
+	}
+}
+
+func TestAllocRelease(t *testing.T) {
+	c, err := New(10, M42XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.Alloc("g0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("alloc returned %d ids, want 4", len(ids))
+	}
+	if c.Free() != 6 || c.Allocated() != 4 {
+		t.Errorf("free/allocated = %d/%d, want 6/4", c.Free(), c.Allocated())
+	}
+	for _, id := range ids {
+		if got := c.Owner(id); got != "g0" {
+			t.Errorf("Owner(%d) = %q, want g0", id, got)
+		}
+	}
+	if err := c.Release(ids); err != nil {
+		t.Fatal(err)
+	}
+	if c.Free() != 10 {
+		t.Errorf("free = %d after release, want 10", c.Free())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	c, _ := New(3, M42XLarge)
+	if _, err := c.Alloc("g0", 4); err == nil {
+		t.Error("over-allocation succeeded, want error")
+	}
+	if c.Free() != 3 {
+		t.Errorf("failed alloc mutated state: free = %d, want 3", c.Free())
+	}
+	if _, err := c.Alloc("g0", 0); err == nil {
+		t.Error("zero allocation succeeded, want error")
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	c, _ := New(3, M42XLarge)
+	ids, _ := c.Alloc("g0", 2)
+	if err := c.Release([]MachineID{99}); err == nil {
+		t.Error("releasing unknown machine succeeded, want error")
+	}
+	if err := c.Release(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(ids); err == nil {
+		t.Error("double release succeeded, want error")
+	}
+}
+
+func TestOwners(t *testing.T) {
+	c, _ := New(10, M42XLarge)
+	if _, err := c.Alloc("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	owners := c.Owners()
+	if owners["a"] != 3 || owners["b"] != 2 {
+		t.Errorf("Owners() = %v, want a:3 b:2", owners)
+	}
+}
+
+// TestAllocConservation checks by property that any interleaving of
+// allocations and releases conserves the total machine count.
+func TestAllocConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c, err := New(16, M42XLarge)
+		if err != nil {
+			return false
+		}
+		var held [][]MachineID
+		for _, op := range ops {
+			if op%2 == 0 || len(held) == 0 {
+				n := int(op%5) + 1
+				ids, err := c.Alloc("g", n)
+				if err == nil {
+					held = append(held, ids)
+				}
+			} else {
+				last := held[len(held)-1]
+				held = held[:len(held)-1]
+				if err := c.Release(last); err != nil {
+					return false
+				}
+			}
+			total := c.Free()
+			for _, h := range held {
+				total += len(h)
+			}
+			if total != 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func job(id string, comp, net float64) JobInfo {
+	return JobInfo{ID: id, Comp: comp, Net: net}
+}
+
+func TestJobInfoPredictions(t *testing.T) {
+	j := job("a", 160, 10)
+	if got := j.TcpuAt(16); got != 10 {
+		t.Errorf("TcpuAt(16) = %v, want 10", got)
+	}
+	if got := j.TcpuAt(0); got != 160 {
+		t.Errorf("TcpuAt(0) = %v, want clamp to DoP 1", got)
+	}
+	if got := j.IterAt(16); got != 20 {
+		t.Errorf("IterAt(16) = %v, want 20", got)
+	}
+	if got := j.CompRatioAt(16); got != 0.5 {
+		t.Errorf("CompRatioAt(16) = %v, want 0.5", got)
+	}
+	if got := (JobInfo{}).CompRatioAt(4); got != 0 {
+		t.Errorf("zero job ratio = %v, want 0", got)
+	}
+}
+
+func TestMinMemoryGB(t *testing.T) {
+	j := JobInfo{ID: "a", ModelGB: 8, WorkGB: 1, JVMHeapFactor: 2}
+	if got := j.MinMemoryGB(4); got != 2*8.0/4+1 {
+		t.Errorf("MinMemoryGB(4) = %v, want 5", got)
+	}
+	noHeap := JobInfo{ID: "b", ModelGB: 8, WorkGB: 1}
+	if got := noHeap.MinMemoryGB(4); got != 3 {
+		t.Errorf("MinMemoryGB without heap factor = %v, want 3", got)
+	}
+}
+
+// TestEq1Cases reproduces the three regimes of Eq. 1 and Fig. 8.
+func TestEq1Cases(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Group
+		want float64
+	}{
+		{
+			name: "cpu-bound",
+			g: Group{Machines: 10, Jobs: []JobInfo{
+				job("a", 1000, 10), job("b", 1000, 10), job("c", 1000, 10),
+			}},
+			want: 300, // ΣTcpu = 3*100 > ΣTnet = 30 > max iter 110
+		},
+		{
+			name: "network-bound (Fig 8a)",
+			g: Group{Machines: 10, Jobs: []JobInfo{
+				job("a", 100, 50), job("b", 100, 50), job("c", 100, 50),
+			}},
+			want: 150, // ΣTnet = 150 > ΣTcpu = 30, max iter 60
+		},
+		{
+			name: "job-bound (Fig 8b)",
+			g: Group{Machines: 10, Jobs: []JobInfo{
+				job("big", 1000, 100), job("small", 10, 1),
+			}},
+			want: 200, // big's own iteration 100+100 exceeds ΣTcpu=101, ΣTnet=101
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.IterSeconds(); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("IterSeconds() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEq3Utilization(t *testing.T) {
+	// CPU-bound group: CPU utilization is exactly 1 (§IV-B2).
+	g := Group{Machines: 4, Jobs: []JobInfo{job("a", 400, 10), job("b", 400, 10)}}
+	uc, un := g.Util()
+	if uc != 1 {
+		t.Errorf("cpu-bound group Ucpu = %v, want 1", uc)
+	}
+	if want := 20.0 / 200.0; math.Abs(un-want) > 1e-9 {
+		t.Errorf("Unet = %v, want %v", un, want)
+	}
+	// Job-bound group: both below 1.
+	jb := Group{Machines: 10, Jobs: []JobInfo{job("big", 1000, 100), job("small", 10, 1)}}
+	uc, un = jb.Util()
+	if uc >= 1 || un >= 1 {
+		t.Errorf("job-bound group util = (%v, %v), want both < 1", uc, un)
+	}
+	if uc, un := (Group{}).Util(); uc != 0 || un != 0 {
+		t.Error("empty group util should be zero")
+	}
+}
+
+// TestUtilInUnitInterval checks the Eq. 3 invariant by property: both
+// utilization components always land in [0, 1].
+func TestUtilInUnitInterval(t *testing.T) {
+	f := func(comps, nets [4]uint16, m uint8) bool {
+		g := Group{Machines: int(m%32) + 1}
+		for i := 0; i < 4; i++ {
+			g.Jobs = append(g.Jobs, job("j", float64(comps[i])+0.5, float64(nets[i])+0.5))
+		}
+		uc, un := g.Util()
+		return uc >= 0 && uc <= 1+1e-12 && un >= 0 && un <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEq4ClusterUtil(t *testing.T) {
+	// Two groups with different utilizations, weighted by machines.
+	g1 := Group{Machines: 3, Jobs: []JobInfo{job("a", 300, 100)}} // Tcpu=100=Tnet: both util 1... verify
+	g2 := Group{Machines: 1, Jobs: []JobInfo{job("b", 100, 10)}}
+	p := Plan{Groups: []Group{g1, g2}}
+	uc1, un1 := g1.Util()
+	uc2, un2 := g2.Util()
+	wantC := (3*uc1 + 1*uc2) / 4
+	wantN := (3*un1 + 1*un2) / 4
+	uc, un := p.Util()
+	if math.Abs(uc-wantC) > 1e-9 || math.Abs(un-wantN) > 1e-9 {
+		t.Errorf("Plan.Util() = (%v, %v), want (%v, %v)", uc, un, wantC, wantN)
+	}
+	if uc, un := (Plan{}).Util(); uc != 0 || un != 0 {
+		t.Error("empty plan util should be zero")
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	p := Plan{Groups: []Group{
+		{Machines: 2, Jobs: []JobInfo{job("a", 1, 1), job("b", 1, 1)}},
+		{Machines: 3, Jobs: []JobInfo{job("c", 1, 1)}},
+	}}
+	if got := p.TotalMachines(); got != 5 {
+		t.Errorf("TotalMachines = %d, want 5", got)
+	}
+	if got := p.NumJobs(); got != 3 {
+		t.Errorf("NumJobs = %d, want 3", got)
+	}
+	if gi, ok := p.FindJob("c"); !ok || gi != 1 {
+		t.Errorf("FindJob(c) = (%d, %v), want (1, true)", gi, ok)
+	}
+	if _, ok := p.FindJob("zz"); ok {
+		t.Error("FindJob(zz) found a phantom job")
+	}
+	ids := p.JobIDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Errorf("JobIDs = %v", ids)
+	}
+	clone := p.Clone()
+	clone.Groups[0].Jobs[0].ID = "mutated"
+	if p.Groups[0].Jobs[0].ID != "a" {
+		t.Error("Clone shares job storage with the original")
+	}
+	if p.String() == "" || p.Groups[0].String() == "" {
+		t.Error("String() should be non-empty")
+	}
+}
+
+func randomJobs(rng *rand.Rand, n int) []JobInfo {
+	jobs := make([]JobInfo, n)
+	for i := range jobs {
+		jobs[i] = JobInfo{
+			ID:   string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Comp: 100 + rng.Float64()*5000,
+			Net:  5 + rng.Float64()*300,
+		}
+	}
+	return jobs
+}

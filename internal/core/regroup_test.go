@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTryAddJobImproves(t *testing.T) {
+	// A CPU-bound group leaves network idle; adding a network-heavy job
+	// must be accepted and raise the score.
+	plan := Plan{Groups: []Group{
+		{Machines: 8, Jobs: []JobInfo{job("cpu", 1600, 10)}},
+	}}
+	opts := Options{}
+	newJob := job("net", 80, 150)
+	got, ok := TryAddJob(plan, newJob, opts)
+	if !ok {
+		t.Fatal("TryAddJob rejected a complementary job")
+	}
+	if got.NumJobs() != 2 {
+		t.Errorf("new plan has %d jobs, want 2", got.NumJobs())
+	}
+	if opts.Score(got) <= opts.Score(plan) {
+		t.Error("accepted addition did not improve score")
+	}
+	// Original plan untouched.
+	if plan.NumJobs() != 1 {
+		t.Error("TryAddJob mutated the input plan")
+	}
+}
+
+func TestTryAddJobRejectsWhenNoImprovement(t *testing.T) {
+	// A perfectly balanced group: adding a CPU-heavy job makes it
+	// CPU-bound and lowers weighted utilization.
+	plan := Plan{Groups: []Group{
+		{Machines: 8, Jobs: []JobInfo{job("a", 800, 100), job("b", 800, 100)}},
+	}}
+	_, ok := TryAddJob(plan, job("cpu", 4000, 1), Options{})
+	if ok {
+		t.Error("TryAddJob accepted a job that lowers utilization")
+	}
+}
+
+func TestTryAddJobEmptyPlan(t *testing.T) {
+	if _, ok := TryAddJob(Plan{}, job("a", 1, 1), Options{}); ok {
+		t.Error("TryAddJob on empty plan accepted a job")
+	}
+}
+
+func TestTryAddJobRespectsMemory(t *testing.T) {
+	plan := Plan{Groups: []Group{
+		{Machines: 4, Jobs: []JobInfo{job("cpu", 800, 10)}},
+	}}
+	big := job("net", 40, 150)
+	big.WorkGB = 100 // cannot fit anywhere
+	if _, ok := TryAddJob(plan, big, Options{MemoryCapGB: 32}); ok {
+		t.Error("TryAddJob placed a job that exceeds group memory")
+	}
+}
+
+func TestFindReplacementSingle(t *testing.T) {
+	finished := job("f", 1600, 100) // at DoP 16: iter 200, ratio 0.5
+	waiting := []JobInfo{
+		job("w0", 5000, 10),  // very different
+		job("w1", 1632, 98),  // iter 200, ratio ~0.51: similar
+		job("w2", 1600, 100), // identical (after w1 in list)
+	}
+	idxs, ok := FindReplacement(finished, 16, waiting)
+	if !ok {
+		t.Fatal("no replacement found")
+	}
+	if len(idxs) != 1 || idxs[0] != 1 {
+		t.Errorf("replacement = %v, want first similar job [1]", idxs)
+	}
+}
+
+func TestFindReplacementBundle(t *testing.T) {
+	finished := job("f", 1600, 100) // iter 200 at DoP 16, ratio 0.5
+	// No single job is similar, but two halves sum to it.
+	waiting := []JobInfo{
+		job("half1", 800, 50), // iter 100, ratio 0.5
+		job("half2", 800, 50),
+		job("noise", 6000, 5),
+	}
+	idxs, ok := FindReplacement(finished, 16, waiting)
+	if !ok {
+		t.Fatal("no bundle replacement found")
+	}
+	if len(idxs) != 2 {
+		t.Fatalf("bundle size %d, want 2: %v", len(idxs), idxs)
+	}
+	seen := map[int]bool{}
+	for _, i := range idxs {
+		seen[i] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("bundle picked %v, want the two halves", idxs)
+	}
+}
+
+func TestFindReplacementNone(t *testing.T) {
+	finished := job("f", 1600, 100)
+	waiting := []JobInfo{job("w", 50, 5)}
+	if _, ok := FindReplacement(finished, 16, waiting); ok {
+		t.Error("found a replacement among dissimilar jobs")
+	}
+	if _, ok := FindReplacement(finished, 16, nil); ok {
+		t.Error("found a replacement in empty waiting list")
+	}
+	if _, ok := FindReplacement(JobInfo{}, 16, waiting); ok {
+		t.Error("zero finished job should not match")
+	}
+}
+
+func TestRegroupAfterFinishRepairs(t *testing.T) {
+	plan := Plan{Groups: []Group{
+		{Machines: 16, Jobs: []JobInfo{job("stay", 1600, 100), job("done", 800, 50)}},
+		{Machines: 16, Jobs: []JobInfo{job("other", 1600, 100)}},
+	}}
+	waiting := []JobInfo{job("sub", 808, 50)} // similar to "done" at DoP 16
+	res := RegroupAfterFinish(plan, "done", waiting, Options{})
+	if !res.Changed {
+		t.Fatal("repair regroup reported Changed=false")
+	}
+	if len(res.AddedJobs) != 1 || res.AddedJobs[0] != "sub" {
+		t.Errorf("AddedJobs = %v, want [sub]", res.AddedJobs)
+	}
+	gi, ok := res.Plan.FindJob("sub")
+	if !ok || gi != 0 {
+		t.Errorf("substitute placed in group %d (found %v), want 0", gi, ok)
+	}
+	if _, ok := res.Plan.FindJob("done"); ok {
+		t.Error("finished job still in plan")
+	}
+	if res.InvolvedGroups != 0 {
+		t.Errorf("InvolvedGroups = %d for a pure repair, want 0", res.InvolvedGroups)
+	}
+}
+
+func TestRegroupAfterFinishUnknownJob(t *testing.T) {
+	plan := Plan{Groups: []Group{{Machines: 4, Jobs: []JobInfo{job("a", 1, 1)}}}}
+	res := RegroupAfterFinish(plan, "ghost", nil, Options{})
+	if res.Changed {
+		t.Error("regroup for unknown job reported a change")
+	}
+	if res.Plan.NumJobs() != 1 {
+		t.Error("regroup for unknown job altered the plan")
+	}
+}
+
+func TestRegroupAfterFinishDropsEmptyGroup(t *testing.T) {
+	plan := Plan{Groups: []Group{
+		{Machines: 4, Jobs: []JobInfo{job("solo", 100, 10)}},
+		{Machines: 4, Jobs: []JobInfo{job("other", 100, 10)}},
+	}}
+	res := RegroupAfterFinish(plan, "solo", nil, Options{})
+	if len(res.Plan.Groups) != 1 {
+		t.Errorf("plan has %d groups after sole job finished, want 1", len(res.Plan.Groups))
+	}
+}
+
+func TestRegroupAfterFinishEscalates(t *testing.T) {
+	// No similar waiting job; the finished job leaves its group strongly
+	// imbalanced, so escalation should reshuffle and pull in the waiting
+	// network-heavy job.
+	plan := Plan{Groups: []Group{
+		{Machines: 16, Jobs: []JobInfo{job("cpu1", 3200, 20), job("done", 160, 300)}},
+		{Machines: 16, Jobs: []JobInfo{job("cpu2", 3200, 20), job("net2", 160, 300)}},
+	}}
+	waiting := []JobInfo{job("fresh", 800, 150)} // not similar to done
+	opts := Options{}
+	res := RegroupAfterFinish(plan, "done", waiting, opts)
+	if _, ok := res.Plan.FindJob("done"); ok {
+		t.Fatal("finished job still present")
+	}
+	// Either the regroup was judged not worth it (plan shrunk only) or a
+	// changed plan must strictly improve the score.
+	shrunk := plan.Clone()
+	shrunk.Groups[0].Jobs = shrunk.Groups[0].Jobs[:1]
+	if res.Changed {
+		if opts.Score(res.Plan) < opts.Score(shrunk)*(1+opts.withDefaults().MinImprovement) {
+			t.Errorf("escalated regroup did not clear the 5%% threshold: %.3f vs %.3f",
+				opts.Score(res.Plan), opts.Score(shrunk))
+		}
+	}
+	// All surviving jobs placed exactly once.
+	seen := map[string]int{}
+	for _, id := range res.Plan.JobIDs() {
+		seen[id]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("job %s appears %d times after regroup", id, n)
+		}
+	}
+}
+
+func TestRegroupMachineConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	jobs := randomJobs(rng, 10)
+	plan := Schedule(jobs, 30, Options{})
+	if len(plan.Groups) == 0 {
+		t.Skip("scheduler placed nothing")
+	}
+	total := plan.TotalMachines()
+	finished := plan.Groups[0].Jobs[0].ID
+	res := RegroupAfterFinish(plan, finished, randomJobs(rng, 3), Options{})
+	if got := res.Plan.TotalMachines(); got > total {
+		t.Errorf("regroup grew machines %d -> %d", total, got)
+	}
+}

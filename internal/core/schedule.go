@@ -1,0 +1,397 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Options tune the scheduler. The zero value selects the paper's defaults.
+type Options struct {
+	// CPUWeight is the weight of CPU utilization in the scheduling score;
+	// the paper treats CPU "more importantly than the network" (§IV-B2).
+	// Defaults to 0.7; network gets the remainder.
+	CPUWeight float64
+	// MemoryCapGB bounds the per-machine heap footprint of a group with
+	// all inputs spilled. Zero disables the feasibility check.
+	MemoryCapGB float64
+	// MinImprovement is the relative utilization gain below which Harmony
+	// refuses to regroup (§IV-B4 uses 5%).
+	MinImprovement float64
+	// MaxJobsPerGroup caps group size; zero means unlimited. The paper
+	// prefers fewer jobs per group for lower memory pressure.
+	MaxJobsPerGroup int
+	// DisableSwapTuning skips the swap-based fine-tuning step of §IV-B3,
+	// for the design ablation.
+	DisableSwapTuning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CPUWeight <= 0 || o.CPUWeight > 1 {
+		o.CPUWeight = 0.7
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 0.05
+	}
+	return o
+}
+
+// Score collapses a plan's utilization vector to a scalar objective using
+// the CPU-preferring weights.
+func (o Options) Score(p Plan) float64 {
+	o = o.withDefaults()
+	uc, un := p.Util()
+	return o.CPUWeight*uc + (1-o.CPUWeight)*un
+}
+
+// feasible reports whether every group fits machine memory with all input
+// spilled and respects the group-size cap.
+func (o Options) feasible(p Plan) bool {
+	for _, g := range p.Groups {
+		if o.MaxJobsPerGroup > 0 && len(g.Jobs) > o.MaxJobsPerGroup {
+			return false
+		}
+		if o.MemoryCapGB > 0 && g.MinMemoryGB() > o.MemoryCapGB {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule is Algorithm 1 of the paper. It considers growing prefixes of
+// jobs (which the caller orders by scheduling priority: running, paused,
+// then newly profiled), picks the group count that best balances CPU and
+// network time, assigns jobs to groups, allocates machines, and stops when
+// utilization no longer improves.
+//
+// The returned plan places a prefix of jobs; the rest remain waiting.
+// An empty plan is returned when no job can be placed (for example when
+// there are no jobs or no machines).
+func Schedule(jobs []JobInfo, machines int, opts Options) Plan {
+	opts = opts.withDefaults()
+	if len(jobs) == 0 || machines <= 0 {
+		return Plan{}
+	}
+
+	var best Plan
+	bestScore := -1.0
+	for nj := 1; nj <= len(jobs); nj = nextPrefix(nj) {
+		toGroup := jobs[:nj]
+		nG := bestGroupCount(toGroup, machines, opts)
+		groups := assignJobs(toGroup, nG, machines)
+		if !opts.DisableSwapTuning {
+			fineTune(groups)
+		}
+		allocateMachines(groups, machines)
+		cand := Plan{Groups: groups}
+		if !opts.feasible(cand) {
+			// Larger prefixes only add memory pressure at the same
+			// group count; try one more group count before giving up
+			// on this prefix by splitting wider.
+			if wide := widenForMemory(toGroup, machines, opts); wide != nil {
+				cand = Plan{Groups: wide}
+			} else {
+				break
+			}
+		}
+		score := opts.Score(cand)
+		if score > bestScore {
+			bestScore = score
+			best = cand
+			continue
+		}
+		break // L12-13: no more improvement with more jobs
+	}
+	return best
+}
+
+// nextPrefix advances Algorithm 1's job-count loop. Small prefixes step
+// one job at a time (exactly L4 of the paper); past 64 jobs the step
+// grows geometrically so that scheduling thousands of jobs stays within
+// the seconds the paper reports for 8K jobs on 10K machines (§V-F).
+func nextPrefix(nj int) int {
+	if nj < 64 {
+		return nj + 1
+	}
+	return nj + (nj+15)/16
+}
+
+// bestGroupCount is L6 of Algorithm 1: choose the number of groups n_G
+// whose implied DoP (machines/n_G, equal across groups) best balances
+// each job's CPU and network time: argmin Σ_j |T_cpu_j(n_G) − T_net_j|.
+// Each |comp·n_G/M − net| term is convex in n_G, so the sum is convex;
+// large inputs use ternary search instead of a linear scan.
+func bestGroupCount(jobs []JobInfo, machines int, opts Options) int {
+	maxG := len(jobs)
+	if machines < maxG {
+		maxG = machines
+	}
+	cost := func(nG int) float64 {
+		if opts.MaxJobsPerGroup > 0 && (len(jobs)+nG-1)/nG > opts.MaxJobsPerGroup {
+			return math.Inf(1)
+		}
+		m := machines / nG
+		var c float64
+		for _, j := range jobs {
+			c += math.Abs(j.TcpuAt(m) - j.Net)
+		}
+		return c
+	}
+	if maxG <= 64 {
+		bestG, bestCost := 1, math.Inf(1)
+		for nG := 1; nG <= maxG; nG++ {
+			if c := cost(nG); c < bestCost {
+				bestCost = c
+				bestG = nG
+			}
+		}
+		return bestG
+	}
+	lo, hi := 1, maxG
+	for hi-lo > 2 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if cost(m1) <= cost(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	bestG, bestCost := lo, cost(lo)
+	for nG := lo + 1; nG <= hi; nG++ {
+		if c := cost(nG); c < bestCost {
+			bestCost = c
+			bestG = nG
+		}
+	}
+	return bestG
+}
+
+// assignJobs distributes jobs evenly into nG groups (§IV-B3): sort by the
+// job's own iteration time so that similarly sized jobs land together
+// (preventing job-bound groups), then fill groups one by one, choosing at
+// each step the remaining job that best balances the group's CPU and
+// network use.
+func assignJobs(jobs []JobInfo, nG, machines int) []Group {
+	if nG < 1 {
+		nG = 1
+	}
+	m := machines / nG
+	if m < 1 {
+		m = 1
+	}
+	sorted := make([]JobInfo, len(jobs))
+	copy(sorted, jobs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].IterAt(m) > sorted[j].IterAt(m)
+	})
+
+	groups := make([]Group, nG)
+	for i := range groups {
+		groups[i].Machines = m // provisional; allocateMachines finalizes
+	}
+	remaining := sorted
+	for gi := range groups {
+		// Even split: earlier groups absorb the remainder.
+		size := len(remaining) / (nG - gi)
+		if len(remaining)%(nG-gi) != 0 {
+			size++
+		}
+		for k := 0; k < size; k++ {
+			pick := 0
+			if k > 0 {
+				// Pick the remaining job that minimizes the group's
+				// |ΣT_cpu − ΣT_net| imbalance, but only among jobs with
+				// iteration times close to the largest remaining one:
+				// similar-sized jobs stay together (preventing the
+				// job-bound case) while the choice within that window
+				// balances resource use.
+				window := 1
+				head := remaining[0].IterAt(m)
+				for window < len(remaining) && window < 32 &&
+					remaining[window].IterAt(m)*1.5 >= head {
+					window++
+				}
+				bestImb := math.Inf(1)
+				for c := 0; c < window; c++ {
+					j := remaining[c]
+					imb := math.Abs(groups[gi].Imbalance() + j.TcpuAt(m) - j.Net)
+					if imb < bestImb {
+						bestImb = imb
+						pick = c
+					}
+				}
+			}
+			groups[gi].Jobs = append(groups[gi].Jobs, remaining[pick])
+			remaining = append(remaining[:pick], remaining[pick+1:]...)
+		}
+	}
+	return groups
+}
+
+// fineTune is the swap step of §IV-B3: repeatedly pick the most imbalanced
+// group, find the group with the most complementary resource use, and swap
+// the job pair that minimizes the combined imbalance. It stops when no
+// swap helps (with an iteration cap as a safety net).
+func fineTune(groups []Group) {
+	if len(groups) < 2 {
+		return
+	}
+	maxRounds := 4 * len(groups)
+	if maxRounds > 256 {
+		maxRounds = 256
+	}
+	for round := 0; round < maxRounds; round++ {
+		// Most imbalanced group.
+		src := 0
+		for i := range groups {
+			if math.Abs(groups[i].Imbalance()) > math.Abs(groups[src].Imbalance()) {
+				src = i
+			}
+		}
+		// Most complementary partner: largest imbalance of opposite sign.
+		dst, found := 0, false
+		srcImb := groups[src].Imbalance()
+		var bestOpp float64
+		for i := range groups {
+			if i == src {
+				continue
+			}
+			imb := groups[i].Imbalance()
+			if imb*srcImb < 0 && math.Abs(imb) > bestOpp {
+				bestOpp = math.Abs(imb)
+				dst = i
+				found = true
+			}
+		}
+		if !found {
+			return
+		}
+		if !trySwap(&groups[src], &groups[dst]) {
+			return
+		}
+	}
+}
+
+// trySwap finds the job pair whose exchange minimizes the two groups'
+// combined imbalance; it applies the swap and reports true only when it
+// strictly improves.
+func trySwap(a, b *Group) bool {
+	current := math.Abs(a.Imbalance()) + math.Abs(b.Imbalance())
+	bestI, bestJ, bestCost := -1, -1, current
+	for i, ja := range a.Jobs {
+		for j, jb := range b.Jobs {
+			da := ja.TcpuAt(a.Machines) - ja.Net
+			db := jb.TcpuAt(b.Machines) - jb.Net
+			// Swapping moves ja's contribution out of a and jb's in,
+			// evaluated at each group's own DoP.
+			dbInA := jb.TcpuAt(a.Machines) - jb.Net
+			daInB := ja.TcpuAt(b.Machines) - ja.Net
+			newA := a.Imbalance() - da + dbInA
+			newB := b.Imbalance() - db + daInB
+			cost := math.Abs(newA) + math.Abs(newB)
+			if cost < bestCost-1e-12 {
+				bestCost = cost
+				bestI, bestJ = i, j
+			}
+		}
+	}
+	if bestI < 0 {
+		return false
+	}
+	a.Jobs[bestI], b.Jobs[bestJ] = b.Jobs[bestJ], a.Jobs[bestI]
+	return true
+}
+
+// allocateMachines is the machine-distribution step of §IV-B3: every
+// group gets one machine, then the remaining machines go one at a time to
+// the group whose iteration time shrinks the most from one more machine
+// (the most computation-bound group, per Eq. 1 and Eq. 2). A max-heap on
+// the marginal gain keeps the water-filling loop near O(M log G).
+func allocateMachines(groups []Group, machines int) {
+	if len(groups) == 0 {
+		return
+	}
+	gain := func(i int) float64 {
+		g := groups[i]
+		now := g.IterSeconds()
+		g.Machines++
+		return (now - g.IterSeconds()) / math.Max(now, 1e-12)
+	}
+	for i := range groups {
+		groups[i].Machines = 1
+	}
+	// heap of (gain, group index); lazy re-evaluation on pop.
+	type entry struct {
+		gain float64
+		idx  int
+	}
+	h := make([]entry, len(groups))
+	for i := range groups {
+		h[i] = entry{gain(i), i}
+	}
+	less := func(a, b entry) bool { return a.gain > b.gain } // max-heap
+	var down func(i int)
+	down = func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(h) && less(h[l], h[big]) {
+				big = l
+			}
+			if r < len(h) && less(h[r], h[big]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for spare := machines - len(groups); spare > 0; {
+		top := h[0]
+		fresh := gain(top.idx)
+		if fresh < top.gain-1e-12 {
+			// Stale: re-key and sift.
+			h[0].gain = fresh
+			down(0)
+			continue
+		}
+		if fresh <= 1e-12 {
+			// No group benefits (all network- or job-bound); spread the
+			// rest round-robin so machines are not stranded.
+			for i := 0; spare > 0; i, spare = (i+1)%len(groups), spare-1 {
+				groups[i].Machines++
+			}
+			return
+		}
+		groups[top.idx].Machines++
+		spare--
+		h[0].gain = gain(top.idx)
+		down(0)
+	}
+}
+
+// widenForMemory retries the grouping with more, smaller groups until the
+// memory constraint is satisfied; it returns nil when even one job per
+// group does not fit.
+func widenForMemory(jobs []JobInfo, machines int, opts Options) []Group {
+	maxG := len(jobs)
+	if machines < maxG {
+		maxG = machines
+	}
+	for nG := bestGroupCount(jobs, machines, opts) + 1; nG <= maxG; nG++ {
+		groups := assignJobs(jobs, nG, machines)
+		if !opts.DisableSwapTuning {
+			fineTune(groups)
+		}
+		allocateMachines(groups, machines)
+		if opts.feasible(Plan{Groups: groups}) {
+			return groups
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func checkPlanValid(t *testing.T, p Plan, jobs []JobInfo, machines int) {
+	t.Helper()
+	if p.TotalMachines() > machines {
+		t.Errorf("plan uses %d machines, only %d available", p.TotalMachines(), machines)
+	}
+	seen := make(map[string]int)
+	for gi, g := range p.Groups {
+		if len(g.Jobs) == 0 {
+			t.Errorf("group %d is empty", gi)
+		}
+		if g.Machines < 1 {
+			t.Errorf("group %d has %d machines, want >= 1", gi, g.Machines)
+		}
+		for _, j := range g.Jobs {
+			seen[j.ID]++
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("job %s placed %d times", id, n)
+		}
+	}
+	known := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		known[j.ID] = true
+	}
+	for id := range seen {
+		if !known[id] {
+			t.Errorf("plan contains unknown job %s", id)
+		}
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	if p := Schedule(nil, 10, Options{}); len(p.Groups) != 0 {
+		t.Error("Schedule(nil) returned groups")
+	}
+	if p := Schedule([]JobInfo{job("a", 1, 1)}, 0, Options{}); len(p.Groups) != 0 {
+		t.Error("Schedule with 0 machines returned groups")
+	}
+}
+
+func TestScheduleSingleJob(t *testing.T) {
+	jobs := []JobInfo{job("a", 1600, 100)}
+	p := Schedule(jobs, 16, Options{})
+	checkPlanValid(t, p, jobs, 16)
+	if p.NumJobs() != 1 {
+		t.Fatalf("placed %d jobs, want 1", p.NumJobs())
+	}
+	if p.TotalMachines() != 16 {
+		t.Errorf("single job got %d machines, want all 16", p.TotalMachines())
+	}
+}
+
+// TestScheduleComplementaryPair checks that two jobs with complementary
+// resource use are co-located in one group rather than isolated.
+func TestScheduleComplementaryPair(t *testing.T) {
+	jobs := []JobInfo{
+		job("cpu-heavy", 3200, 20),
+		job("net-heavy", 200, 180),
+	}
+	p := Schedule(jobs, 16, Options{})
+	checkPlanValid(t, p, jobs, 16)
+	if p.NumJobs() != 2 {
+		t.Fatalf("placed %d jobs, want 2", p.NumJobs())
+	}
+	if len(p.Groups) != 1 {
+		t.Fatalf("made %d groups, want 1 co-located group, plan: %s", len(p.Groups), p)
+	}
+	uc, un := p.Util()
+	if uc < 0.8 {
+		t.Errorf("co-located CPU util %.2f, want >= 0.8", uc)
+	}
+	if un < 0.5 {
+		t.Errorf("co-located net util %.2f, want >= 0.5", un)
+	}
+}
+
+// TestScheduleImprovesOverIsolation: co-locating the whole base-like mix
+// must score at least as well as any single job alone.
+func TestScheduleImprovesOverIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jobs := randomJobs(rng, 12)
+	opts := Options{}
+	p := Schedule(jobs, 32, opts)
+	checkPlanValid(t, p, jobs, 32)
+	single := Schedule(jobs[:1], 32, opts)
+	if opts.Score(p) < opts.Score(single) {
+		t.Errorf("full plan score %.3f < single-job score %.3f",
+			opts.Score(p), opts.Score(single))
+	}
+	if p.NumJobs() < 2 {
+		t.Errorf("scheduler placed only %d of 12 jobs", p.NumJobs())
+	}
+}
+
+func TestScheduleMachineConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(20)
+		m := 4 + rng.Intn(60)
+		jobs := randomJobs(rng, n)
+		p := Schedule(jobs, m, Options{})
+		checkPlanValid(t, p, jobs, m)
+		if len(p.Groups) > 0 && p.TotalMachines() != m {
+			t.Errorf("trial %d: plan uses %d of %d machines", trial, p.TotalMachines(), m)
+		}
+	}
+}
+
+func TestSchedulePrefixProperty(t *testing.T) {
+	// Jobs not in the scheduled prefix stay out: the placed set must be a
+	// prefix of the input ordering (Algorithm 1 L4-5).
+	rng := rand.New(rand.NewSource(3))
+	jobs := randomJobs(rng, 10)
+	p := Schedule(jobs, 20, Options{})
+	placed := make(map[string]bool)
+	for _, id := range p.JobIDs() {
+		placed[id] = true
+	}
+	lastPlaced := -1
+	for i, j := range jobs {
+		if placed[j.ID] {
+			lastPlaced = i
+		}
+	}
+	for i := 0; i <= lastPlaced; i++ {
+		if !placed[jobs[i].ID] {
+			t.Errorf("job %d (%s) skipped inside the scheduled prefix", i, jobs[i].ID)
+		}
+	}
+}
+
+func TestBestGroupCountBalances(t *testing.T) {
+	// 8 identical jobs with Tcpu(m)=Net when m = machines/nG solves to a
+	// predictable group count: comp=800 machine-s, net=50s, machines=64;
+	// Tcpu = 800*nG/64 = 12.5*nG; equals 50 at nG=4.
+	var jobs []JobInfo
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, job(string(rune('a'+i)), 800, 50))
+	}
+	got := bestGroupCount(jobs, 64, Options{}.withDefaults())
+	if got != 4 {
+		t.Errorf("bestGroupCount = %d, want 4", got)
+	}
+}
+
+func TestAssignJobsKeepsLargeJobsTogether(t *testing.T) {
+	// Two big jobs and two small jobs into two groups: the big pair must
+	// share a group to avoid the job-bound case (§IV-B3).
+	jobs := []JobInfo{
+		job("big1", 4000, 200), job("small1", 100, 10),
+		job("big2", 4200, 210), job("small2", 120, 12),
+	}
+	groups := assignJobs(jobs, 2, 16)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	var bigGroup int = -1
+	for gi, g := range groups {
+		for _, j := range g.Jobs {
+			if j.ID == "big1" {
+				bigGroup = gi
+			}
+		}
+	}
+	foundTogether := false
+	for _, j := range groups[bigGroup].Jobs {
+		if j.ID == "big2" {
+			foundTogether = true
+		}
+	}
+	if !foundTogether {
+		t.Errorf("big jobs split across groups: %v / %v", groups[0], groups[1])
+	}
+}
+
+func TestAssignJobsEvenSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	jobs := randomJobs(rng, 10)
+	groups := assignJobs(jobs, 3, 30)
+	sizes := []int{len(groups[0].Jobs), len(groups[1].Jobs), len(groups[2].Jobs)}
+	sort.Ints(sizes)
+	if sizes[0] < 3 || sizes[2] > 4 {
+		t.Errorf("uneven assignment sizes %v, want 3/3/4 split", sizes)
+	}
+}
+
+func TestFineTuneReducesImbalance(t *testing.T) {
+	// Deliberately pathological grouping: both CPU-heavies in group 0 and
+	// both net-heavies in group 1. Fine-tuning must reduce combined
+	// imbalance by swapping one pair.
+	groups := []Group{
+		{Machines: 8, Jobs: []JobInfo{job("c1", 1600, 10), job("c2", 1600, 10)}},
+		{Machines: 8, Jobs: []JobInfo{job("n1", 80, 190), job("n2", 80, 190)}},
+	}
+	before := math.Abs(groups[0].Imbalance()) + math.Abs(groups[1].Imbalance())
+	fineTune(groups)
+	after := math.Abs(groups[0].Imbalance()) + math.Abs(groups[1].Imbalance())
+	if after >= before {
+		t.Errorf("fineTune imbalance %.1f -> %.1f, want reduction", before, after)
+	}
+}
+
+func TestFineTuneSingleGroupNoop(t *testing.T) {
+	groups := []Group{{Machines: 4, Jobs: []JobInfo{job("a", 100, 10)}}}
+	fineTune(groups) // must not panic or mutate
+	if len(groups[0].Jobs) != 1 {
+		t.Error("single-group fine-tune mutated jobs")
+	}
+}
+
+func TestAllocateMachinesFavorsCPUBound(t *testing.T) {
+	groups := []Group{
+		{Jobs: []JobInfo{job("cpu", 6400, 10)}}, // strongly CPU-bound
+		{Jobs: []JobInfo{job("net", 10, 200)}},  // strongly network-bound
+	}
+	allocateMachines(groups, 10)
+	total := groups[0].Machines + groups[1].Machines
+	if total != 10 {
+		t.Fatalf("allocated %d machines, want 10", total)
+	}
+	if groups[0].Machines <= groups[1].Machines {
+		t.Errorf("cpu-bound group got %d machines vs %d for net-bound, want more",
+			groups[0].Machines, groups[1].Machines)
+	}
+	if groups[1].Machines < 1 {
+		t.Error("every group must keep at least one machine")
+	}
+}
+
+func TestAllocateMachinesAllNetworkBound(t *testing.T) {
+	// When no group benefits from extra machines, the spares must still be
+	// distributed rather than stranded.
+	groups := []Group{
+		{Jobs: []JobInfo{job("n1", 1, 100)}},
+		{Jobs: []JobInfo{job("n2", 1, 100)}},
+	}
+	allocateMachines(groups, 9)
+	if got := groups[0].Machines + groups[1].Machines; got != 9 {
+		t.Errorf("allocated %d machines, want 9", got)
+	}
+}
+
+func TestScheduleMemoryConstraint(t *testing.T) {
+	// Jobs so heavy that two per group exceed memory: the scheduler must
+	// not co-locate them in one group.
+	heavy := func(id string) JobInfo {
+		j := job(id, 800, 50)
+		j.ModelGB = 18 * 16 // 18 GB per machine at DoP 16
+		j.WorkGB = 1
+		return j
+	}
+	jobs := []JobInfo{heavy("a"), heavy("b")}
+	p := Schedule(jobs, 32, Options{MemoryCapGB: 32})
+	checkPlanValid(t, p, jobs, 32)
+	for _, g := range p.Groups {
+		if g.MinMemoryGB() > 32 {
+			t.Errorf("group %s exceeds memory cap: %.1f GB", g, g.MinMemoryGB())
+		}
+	}
+}
+
+func TestScheduleMaxJobsPerGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	jobs := randomJobs(rng, 12)
+	p := Schedule(jobs, 24, Options{MaxJobsPerGroup: 3})
+	checkPlanValid(t, p, jobs, 24)
+	for _, g := range p.Groups {
+		if len(g.Jobs) > 3 {
+			t.Errorf("group has %d jobs, cap is 3", len(g.Jobs))
+		}
+	}
+}
+
+func TestOptionsScoreWeighting(t *testing.T) {
+	p := Plan{Groups: []Group{{Machines: 4, Jobs: []JobInfo{job("a", 400, 10)}}}}
+	uc, un := p.Util()
+	def := Options{}
+	want := 0.7*uc + 0.3*un
+	if got := def.Score(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("default Score = %v, want %v", got, want)
+	}
+	cpuOnly := Options{CPUWeight: 1}
+	if got := cpuOnly.Score(p); math.Abs(got-uc) > 1e-12 {
+		t.Errorf("CPU-only Score = %v, want %v", got, uc)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	jobs := randomJobs(rng, 15)
+	a := Schedule(jobs, 40, Options{})
+	b := Schedule(jobs, 40, Options{})
+	if a.String() != b.String() {
+		t.Errorf("Schedule not deterministic:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"harmony/internal/sim"
+	"harmony/internal/workload"
+)
+
+// AblationRow is one configuration of the §V-C technique breakdown.
+type AblationRow struct {
+	Config          string
+	MakespanSpeedup float64
+	JCTSpeedup      float64
+	BenefitShare    float64 // share of the full system's makespan benefit
+}
+
+// AblationResult reproduces the §V-C decomposition: subtasks alone give
+// part of the benefit, grouping most of the rest, dynamic reloading the
+// remainder (paper: 32% / 81% / 100%).
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation runs the cumulative configurations over the base workload.
+func Ablation(seed int64) (*AblationResult, error) {
+	jobs := sim.Jobs(workload.Base(), nil)
+	iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	type cfgCase struct {
+		name   string
+		mutate func(*sim.Config)
+	}
+	cases := []cfgCase{
+		// "No dynamic reloading" keeps the static occupancy-based spill
+		// (co-locating these datasets is impossible without any spill)
+		// but turns the per-job hill climbing off.
+		{"subtasks only", func(c *sim.Config) {
+			c.DisableSmartGrouping = true
+			c.DisableAlphaTuning = true
+		}},
+		{"+ grouping", func(c *sim.Config) {
+			c.DisableAlphaTuning = true
+		}},
+		{"+ dynamic reloading (full)", nil},
+	}
+	out := &AblationResult{}
+	isoMk := iso.Summary.Makespan.Seconds()
+	var fullGain float64
+	results := make([]*sim.Result, len(cases))
+	for i, c := range cases {
+		res, err := runMode(sim.ModeHarmony, jobs, seed, c.mutate)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
+		}
+		results[i] = res
+	}
+	fullGain = isoMk - results[len(results)-1].Summary.Makespan.Seconds()
+	for i, c := range cases {
+		res := results[i]
+		gain := isoMk - res.Summary.Makespan.Seconds()
+		share := 0.0
+		if fullGain > 0 {
+			share = gain / fullGain
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Config:          c.name,
+			MakespanSpeedup: isoMk / res.Summary.Makespan.Seconds(),
+			JCTSpeedup:      iso.Summary.MeanJCT.Seconds() / res.Summary.MeanJCT.Seconds(),
+			BenefitShare:    share,
+		})
+	}
+	return out, nil
+}
+
+func (r *AblationResult) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Config,
+			fmt.Sprintf("%.2fx", row.MakespanSpeedup),
+			fmt.Sprintf("%.2fx", row.JCTSpeedup),
+			fmt.Sprintf("%.0f%%", row.BenefitShare*100),
+		}
+	}
+	return "§V-C — technique ablation (cumulative; paper: 32% / 81% / 100% of benefit)\n" +
+		table([]string{"configuration", "makespan speedup", "JCT speedup", "benefit share"}, rows)
+}
+
+// DesignAblationRow is one design-choice toggle (DESIGN.md §5).
+type DesignAblationRow struct {
+	Variant         string
+	MakespanSpeedup float64
+	CPUUtil         float64
+	NetUtil         float64
+}
+
+// DesignAblationResult collects the extra design ablations DESIGN.md
+// calls out: the secondary COMM subtask, swap-based fine-tuning, and the
+// 5% regrouping threshold.
+type DesignAblationResult struct {
+	Rows []DesignAblationRow
+}
+
+// DesignAblation toggles each design choice off against the full system.
+func DesignAblation(seed int64) (*DesignAblationResult, error) {
+	jobs := sim.Jobs(workload.Base(), nil)
+	iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name   string
+		mutate func(*sim.Config)
+	}{
+		{"full system", nil},
+		{"no secondary COMM", func(c *sim.Config) { c.DisableSecondaryComm = true }},
+		{"no swap fine-tuning", func(c *sim.Config) { c.SchedOpts.DisableSwapTuning = true }},
+		{"no regroup threshold", func(c *sim.Config) { c.SchedOpts.MinImprovement = 1e-9 }},
+	}
+	out := &DesignAblationResult{}
+	for _, c := range cases {
+		res, err := runMode(sim.ModeHarmony, jobs, seed, c.mutate)
+		if err != nil {
+			return nil, fmt.Errorf("design ablation %s: %w", c.name, err)
+		}
+		out.Rows = append(out.Rows, DesignAblationRow{
+			Variant:         c.name,
+			MakespanSpeedup: iso.Summary.Makespan.Seconds() / res.Summary.Makespan.Seconds(),
+			CPUUtil:         res.Summary.CPUUtil,
+			NetUtil:         res.Summary.NetUtil,
+		})
+	}
+	return out, nil
+}
+
+func (r *DesignAblationResult) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Variant,
+			fmt.Sprintf("%.2fx", row.MakespanSpeedup),
+			pct(row.CPUUtil), pct(row.NetUtil),
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Design-choice ablations (DESIGN.md §5; speedups vs isolated)\n")
+	b.WriteString(table([]string{"variant", "makespan speedup", "CPU util", "net util"}, rows))
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/metrics"
+	"harmony/internal/sim"
+	"harmony/internal/workload"
+)
+
+// Fig13aPoint is one error level of the sensitivity sweep.
+type Fig13aPoint struct {
+	ErrorFrac       float64
+	JCTSpeedup      float64 // normalized to the zero-error run
+	MakespanSpeedup float64
+}
+
+// Fig13aResult reproduces Fig. 13a: Harmony's speedup degrades as the
+// performance-model error grows.
+type Fig13aResult struct {
+	Points []Fig13aPoint
+}
+
+// Fig13a sweeps injected profiling error from 0 to 20%.
+func Fig13a(seed int64) (*Fig13aResult, error) {
+	jobs := sim.Jobs(workload.Base(), nil)
+	var base *sim.Result
+	out := &Fig13aResult{}
+	for _, e := range []float64{0, 0.05, 0.075, 0.10, 0.15, 0.20} {
+		e := e
+		res, err := runMode(sim.ModeHarmony, jobs, seed, func(c *sim.Config) {
+			c.MetricErrorFrac = e
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig13a err=%.0f%%: %w", e*100, err)
+		}
+		if base == nil {
+			base = res
+		}
+		out.Points = append(out.Points, Fig13aPoint{
+			ErrorFrac:       e,
+			JCTSpeedup:      base.Summary.MeanJCT.Seconds() / res.Summary.MeanJCT.Seconds(),
+			MakespanSpeedup: base.Summary.Makespan.Seconds() / res.Summary.Makespan.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+func (r *Fig13aResult) String() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%.1f%%", p.ErrorFrac*100),
+			fmt.Sprintf("%.3f", p.JCTSpeedup),
+			fmt.Sprintf("%.3f", p.MakespanSpeedup),
+		}
+	}
+	return "Fig. 13a — speedup vs injected model error (normalized to error-free run)\n" +
+		table([]string{"injected error", "JCT speedup", "makespan speedup"}, rows)
+}
+
+// Fig13bResult reproduces Fig. 13b: prediction error of cluster
+// utilization U and group iteration time T_g_itr over all scheduling
+// decisions of a full run.
+type Fig13bResult struct {
+	UErrors    []float64
+	IterErrors []float64
+}
+
+// Fig13b collects predicted-vs-actual samples from the base run.
+func Fig13b(seed int64) (*Fig13bResult, error) {
+	res, err := runMode(sim.ModeHarmony, sim.Jobs(workload.Base(), nil), seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig13bResult{}
+	for _, p := range res.UPred {
+		out.UErrors = append(out.UErrors, p.Err())
+	}
+	for _, p := range res.IterPred {
+		out.IterErrors = append(out.IterErrors, p.Err())
+	}
+	return out, nil
+}
+
+// MeanUError and MeanIterError report the average relative errors.
+func (r *Fig13bResult) MeanUError() float64    { return metrics.Mean(r.UErrors) }
+func (r *Fig13bResult) MeanIterError() float64 { return metrics.Mean(r.IterErrors) }
+
+func (r *Fig13bResult) String() string {
+	return "Fig. 13b — performance-model prediction error (paper: below 5%)\n" +
+		fmt.Sprintf("  cluster utilization U:   mean %.1f%%  %s\n",
+			r.MeanUError()*100, cdfSummary(scale100(r.UErrors), "%")) +
+		fmt.Sprintf("  group iteration T_g_itr: mean %.1f%%  %s\n",
+			r.MeanIterError()*100, cdfSummary(scale100(r.IterErrors), "%"))
+}
+
+func scale100(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v * 100
+	}
+	return out
+}
+
+// Fig14Result reproduces Fig. 14 and §V-F: full executions under
+// Harmony's scheduler vs the exhaustive-search Oracle, plus the
+// scheduling-latency comparison.
+type Fig14Result struct {
+	Harmony ModeOutcome
+	Oracle  ModeOutcome
+	// Mean wall-clock per scheduling decision during the runs.
+	HarmonyMeanSched time.Duration
+	OracleMeanSched  time.Duration
+	// One-shot planning latency over the full 80-job/100-machine input.
+	HarmonyPlan80 time.Duration
+	OraclePlan80  time.Duration
+}
+
+// Fig14Jobs and Fig14Machines scale the oracle execution comparison down
+// from the paper's 80/100 so the annealing Oracle (which replaces the
+// "about 10 hours" exhaustive search) keeps the benchmark runnable.
+const (
+	Fig14Jobs     = 24
+	Fig14Machines = 40
+)
+
+// Fig14 runs the comparison.
+func Fig14(seed int64) (*Fig14Result, error) {
+	specs := workload.Small(Fig14Jobs)
+	jobs := sim.Jobs(specs, nil)
+	har, err := sim.Run(sim.Config{Machines: Fig14Machines, Mode: sim.ModeHarmony, Seed: seed}, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 harmony: %w", err)
+	}
+	ora, err := sim.Run(sim.Config{Machines: Fig14Machines, Mode: sim.ModeHarmony, Seed: seed,
+		OraclePlanner: true}, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 oracle: %w", err)
+	}
+	out := &Fig14Result{
+		Harmony:          outcomeOf(sim.ModeHarmony, har),
+		Oracle:           outcomeOf(sim.ModeHarmony, ora),
+		HarmonyMeanSched: meanDuration(har.SchedulingTimes),
+		OracleMeanSched:  meanDuration(ora.SchedulingTimes),
+	}
+
+	// One-shot planning latency on the full-size input.
+	est := estimatesOf(workload.Base())
+	opts := core.Options{MemoryCapGB: 25, MaxJobsPerGroup: 3}
+	start := time.Now()
+	core.Schedule(est, Machines, opts)
+	out.HarmonyPlan80 = time.Since(start)
+	start = time.Now()
+	oraclePlan(est, Machines, opts)
+	out.OraclePlan80 = time.Since(start)
+	return out, nil
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func estimatesOf(specs []workload.Spec) []core.JobInfo {
+	out := make([]core.JobInfo, len(specs))
+	for i, s := range specs {
+		out[i] = core.JobInfo{
+			ID: s.ID, Comp: s.CompMachineSeconds, Net: s.NetSeconds,
+			InputGB: s.Data.InputGB, ModelGB: s.Data.ModelGB, WorkGB: s.WorkGB,
+			JVMHeapFactor: workload.JVMHeapFactor,
+		}
+	}
+	return out
+}
+
+func (r *Fig14Result) String() string {
+	rows := [][]string{
+		{"oracle", minutes(r.Oracle.MeanJCT), minutes(r.Oracle.Makespan),
+			pct(r.Oracle.CPUUtil), pct(r.Oracle.NetUtil), r.OracleMeanSched.Round(time.Millisecond).String()},
+		{"harmony", minutes(r.Harmony.MeanJCT), minutes(r.Harmony.Makespan),
+			pct(r.Harmony.CPUUtil), pct(r.Harmony.NetUtil), r.HarmonyMeanSched.Round(time.Microsecond).String()},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 14 — Harmony vs exhaustive-search Oracle (%d jobs, %d machines)\n",
+		Fig14Jobs, Fig14Machines)
+	b.WriteString(table([]string{"scheduler", "mean JCT", "makespan", "CPU util", "net util", "mean sched time"}, rows))
+	fmt.Fprintf(&b, "one-shot planning, 80 jobs / 100 machines: harmony %s, oracle %s (%.0fx slower)\n",
+		r.HarmonyPlan80.Round(time.Microsecond), r.OraclePlan80.Round(time.Millisecond),
+		float64(r.OraclePlan80)/float64(maxDuration(r.HarmonyPlan80, time.Microsecond)))
+	return b.String()
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

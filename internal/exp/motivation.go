@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"harmony/internal/sim"
+	"harmony/internal/workload"
+)
+
+// Fig2Row is one bar pair of Fig. 2: CPU and network utilization of a
+// single PS job running alone.
+type Fig2Row struct {
+	Workload string
+	CPUUtil  float64
+	NetUtil  float64
+}
+
+// Fig2Result reproduces Fig. 2: single-job utilization for MLR (16K and
+// 8K classes) and LDA (PubMed, NYTimes) on 16 machines.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 runs each of the four workloads alone on 16 dedicated machines.
+func Fig2(seed int64) (*Fig2Result, error) {
+	out := &Fig2Result{}
+	for _, spec := range workload.Fig2Jobs() {
+		res, err := singleJobRun(spec, 16, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", spec.ID, err)
+		}
+		out.Rows = append(out.Rows, Fig2Row{
+			Workload: spec.ID,
+			CPUUtil:  res.Summary.CPUUtil,
+			NetUtil:  res.Summary.NetUtil,
+		})
+	}
+	return out, nil
+}
+
+func (r *Fig2Result) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Workload, pct(row.CPUUtil), pct(row.NetUtil)}
+	}
+	return "Fig. 2 — single-job resource utilization (16 machines)\n" +
+		table([]string{"workload", "CPU util", "network util"}, rows)
+}
+
+// singleJobRun executes one job alone on exactly m dedicated machines.
+func singleJobRun(spec workload.Spec, m int, seed int64) (*sim.Result, error) {
+	// Shorten the run: utilization converges within a few iterations.
+	spec.Iterations = 12
+	return sim.Run(sim.Config{
+		Machines: m,
+		Mode:     sim.ModeIsolated,
+		Seed:     seed,
+		// Force the full allocation: a tiny CPU target makes the DoP
+		// policy ask for more machines than exist, clamping to m.
+		IsolatedCPUTarget: 0.01,
+		IsolatedMaxDoP:    m,
+	}, sim.Jobs([]workload.Spec{spec}, nil))
+}
+
+// Fig3Row is one machine-count column of Fig. 3.
+type Fig3Row struct {
+	Machines    int
+	CPUUtil     float64
+	NetUtil     float64
+	IterSeconds float64
+	PullSeconds float64
+	CompSeconds float64
+	PushSeconds float64
+}
+
+// Fig3Result reproduces Fig. 3: one MLR job swept across 4/8/16/32
+// machines — utilization shifts toward network, iteration time shrinks
+// with diminishing returns.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3 runs the sweep. The dataset is scaled down so the job fits in
+// memory even at 4 machines — the sweep isolates the compute/communication
+// trade-off, not memory pressure (which Fig. 4 covers).
+func Fig3(seed int64) (*Fig3Result, error) {
+	spec := workload.Fig3Job()
+	spec.Data.InputGB = 16
+	spec.Data.ModelGB = 6
+	out := &Fig3Result{}
+	for _, m := range []int{4, 8, 16, 32} {
+		res, err := singleJobRun(spec, m, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 m=%d: %w", m, err)
+		}
+		if len(res.Failed) > 0 {
+			return nil, fmt.Errorf("fig3 m=%d: job failed: %v", m, res.Failed)
+		}
+		iter := res.Summary.Makespan.Seconds() / 12 // 12 iterations
+		out.Rows = append(out.Rows, Fig3Row{
+			Machines:    m,
+			CPUUtil:     res.Summary.CPUUtil,
+			NetUtil:     res.Summary.NetUtil,
+			IterSeconds: iter,
+			PullSeconds: spec.TpullAt(m),
+			CompSeconds: spec.TcpuAt(m),
+			PushSeconds: spec.TpushAt(m),
+		})
+	}
+	return out, nil
+}
+
+func (r *Fig3Result) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprintf("%d", row.Machines),
+			pct(row.CPUUtil), pct(row.NetUtil),
+			fmt.Sprintf("%.0fs", row.IterSeconds),
+			fmt.Sprintf("%.0fs", row.PullSeconds),
+			fmt.Sprintf("%.0fs", row.CompSeconds),
+			fmt.Sprintf("%.0fs", row.PushSeconds),
+		}
+	}
+	return "Fig. 3 — one MLR job vs number of machines\n" +
+		table([]string{"machines", "CPU util", "net util", "iter", "PULL", "COMP", "PUSH"}, rows)
+}
+
+// Fig4Row is one bar group of Fig. 4.
+type Fig4Row struct {
+	Setup   string
+	CPUUtil float64
+	NetUtil float64
+	OOM     bool
+}
+
+// Fig4Result reproduces Fig. 4: naive co-location fails to raise
+// utilization, and the three-job co-location dies of OOM.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 runs singles, the two pairs, and the fatal triple on 16 machines
+// under naive (uncoordinated) co-location.
+func Fig4(seed int64) (*Fig4Result, error) {
+	nmf, lasso, mlr := workload.Fig4Jobs()
+	for _, s := range []*workload.Spec{&nmf, &lasso, &mlr} {
+		s.Iterations = 12
+	}
+	cases := []struct {
+		name  string
+		specs []workload.Spec
+	}{
+		{"NMF", []workload.Spec{nmf}},
+		{"Lasso", []workload.Spec{lasso}},
+		{"MLR", []workload.Spec{mlr}},
+		{"NMF+Lasso", []workload.Spec{nmf, lasso}},
+		{"NMF+MLR", []workload.Spec{nmf, mlr}},
+		{"NMF+MLR+Lasso", []workload.Spec{nmf, mlr, lasso}},
+	}
+	out := &Fig4Result{}
+	for _, c := range cases {
+		res, err := sim.Run(sim.Config{
+			Machines:          16,
+			Mode:              sim.ModeNaive,
+			Seed:              seed,
+			NaiveGroupSize:    len(c.specs),
+			IsolatedCPUTarget: 0.01, // force full 16-machine allocations
+			IsolatedMaxDoP:    16,
+		}, sim.Jobs(c.specs, nil))
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", c.name, err)
+		}
+		out.Rows = append(out.Rows, Fig4Row{
+			Setup:   c.name,
+			CPUUtil: res.Summary.CPUUtil,
+			NetUtil: res.Summary.NetUtil,
+			OOM:     len(res.Failed) == len(c.specs),
+		})
+	}
+	return out, nil
+}
+
+func (r *Fig4Result) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		oom := ""
+		if row.OOM {
+			oom = "OUT OF MEMORY"
+		}
+		rows[i] = []string{row.Setup, pct(row.CPUUtil), pct(row.NetUtil), oom}
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 4 — naive co-location utilization (16 machines)\n")
+	b.WriteString(table([]string{"setup", "CPU util", "network util", ""}, rows))
+	return b.String()
+}

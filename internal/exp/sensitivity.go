@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"harmony/internal/metrics"
+	"harmony/internal/sim"
+	"harmony/internal/simtime"
+	"harmony/internal/trace"
+	"harmony/internal/workload"
+)
+
+// SensRatioRow is one workload mix of the §V-D resource-ratio analysis.
+type SensRatioRow struct {
+	Mix             string
+	JCTSpeedup      float64
+	MakespanSpeedup float64
+	CPUUtil         float64
+	NetUtil         float64
+	MedianDoP       float64
+}
+
+// SensRatioResult reproduces §V-D's workload-ratio sensitivity: Harmony
+// keeps utilization high on computation- and communication-heavy mixes,
+// using larger DoPs for the computation-heavy one.
+type SensRatioResult struct {
+	Rows []SensRatioRow
+}
+
+// SensRatio runs the base, computation-intensive and communication-
+// intensive mixes under both isolated and Harmony scheduling.
+func SensRatio(seed int64) (*SensRatioResult, error) {
+	mixes := []struct {
+		name  string
+		specs []workload.Spec
+	}{
+		{"base", workload.Base()},
+		{"comp-intensive", workload.CompIntensive()},
+		{"comm-intensive", workload.CommIntensive()},
+	}
+	out := &SensRatioResult{}
+	for _, mix := range mixes {
+		jobs := sim.Jobs(mix.specs, nil)
+		iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sens-ratio %s isolated: %w", mix.name, err)
+		}
+		har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sens-ratio %s harmony: %w", mix.name, err)
+		}
+		var dops []float64
+		for _, d := range har.Decisions {
+			dops = append(dops, float64(d.Machines))
+		}
+		out.Rows = append(out.Rows, SensRatioRow{
+			Mix:             mix.name,
+			JCTSpeedup:      iso.Summary.MeanJCT.Seconds() / har.Summary.MeanJCT.Seconds(),
+			MakespanSpeedup: iso.Summary.Makespan.Seconds() / har.Summary.Makespan.Seconds(),
+			CPUUtil:         har.Summary.CPUUtil,
+			NetUtil:         har.Summary.NetUtil,
+			MedianDoP:       metrics.Percentile(dops, 50),
+		})
+	}
+	return out, nil
+}
+
+func (r *SensRatioResult) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Mix,
+			fmt.Sprintf("%.2fx", row.JCTSpeedup),
+			fmt.Sprintf("%.2fx", row.MakespanSpeedup),
+			pct(row.CPUUtil), pct(row.NetUtil),
+			fmt.Sprintf("%.0f", row.MedianDoP),
+		}
+	}
+	return "§V-D — workload resource-ratio sensitivity (speedups vs isolated)\n" +
+		table([]string{"mix", "JCT speedup", "makespan speedup", "CPU util", "net util", "median DoP"}, rows)
+}
+
+// SensArrivalRow is one arrival process of the §V-D arrival-rate analysis.
+type SensArrivalRow struct {
+	Process         string
+	JCTSpeedup      float64
+	MakespanSpeedup float64
+}
+
+// SensArrivalResult reproduces §V-D's arrival sensitivity: speedups stay
+// close to the batch case for Poisson arrivals up to 8-minute means and
+// for bursty trace-like arrivals.
+type SensArrivalResult struct {
+	Rows []SensArrivalRow
+}
+
+// SensArrival sweeps Poisson mean inter-arrival times and a bursty
+// trace-like process.
+func SensArrival(seed int64) (*SensArrivalResult, error) {
+	specs := workload.Base()
+	out := &SensArrivalResult{}
+	addCase := func(name string, arrivals []simtime.Time) error {
+		jobs := sim.Jobs(specs, arrivals)
+		iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
+		if err != nil {
+			return fmt.Errorf("sens-arrival %s isolated: %w", name, err)
+		}
+		har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
+		if err != nil {
+			return fmt.Errorf("sens-arrival %s harmony: %w", name, err)
+		}
+		out.Rows = append(out.Rows, SensArrivalRow{
+			Process:         name,
+			JCTSpeedup:      iso.Summary.MeanJCT.Seconds() / har.Summary.MeanJCT.Seconds(),
+			MakespanSpeedup: iso.Summary.Makespan.Seconds() / har.Summary.Makespan.Seconds(),
+		})
+		return nil
+	}
+	for _, mean := range []int{0, 2, 4, 8} {
+		arrivals := trace.Poisson(len(specs), simtime.Duration(mean)*simtime.Minute, seed)
+		if err := addCase(fmt.Sprintf("poisson mean %dm", mean), arrivals); err != nil {
+			return nil, err
+		}
+	}
+	if err := addCase("bursty trace", trace.Bursty(len(specs), 40, seed)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r *SensArrivalResult) String() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Process,
+			fmt.Sprintf("%.2fx", row.JCTSpeedup),
+			fmt.Sprintf("%.2fx", row.MakespanSpeedup),
+		}
+	}
+	var b strings.Builder
+	b.WriteString("§V-D — job arrival-rate sensitivity (speedups vs isolated)\n")
+	b.WriteString(table([]string{"arrival process", "JCT speedup", "makespan speedup"}, rows))
+	return b.String()
+}

@@ -1,0 +1,538 @@
+// Package master implements the live Harmony master (Fig. 6): it accepts
+// worker registrations, submits Parameter-Server jobs across them,
+// synchronizes every job's distributed iterations (the SubTask
+// Synchronizer of Fig. 7), profiles subtask times, and regroups jobs with
+// Algorithm 1 — pausing, checkpointing and migrating models between
+// worker groups (§IV-B4).
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/mlapp"
+	"harmony/internal/profile"
+	"harmony/internal/ps"
+	"harmony/internal/rpc"
+	"harmony/internal/worker"
+)
+
+// JobSpec describes one training job submission.
+type JobSpec struct {
+	Name       string
+	Config     mlapp.Config
+	Iterations int
+	// Alpha is the initial disk-block spill ratio on each worker.
+	Alpha float64
+	// Seed drives synthetic data generation and model init.
+	Seed int64
+}
+
+// JobStatus reports a job's lifecycle.
+type JobStatus int
+
+// Job states (§III).
+const (
+	StatusRunning JobStatus = iota + 1
+	StatusPaused
+	StatusFinished
+)
+
+type workerRef struct {
+	name   string
+	addr   string
+	client *rpc.Client
+}
+
+type barrierState struct {
+	arrived int
+	waiters []chan worker.Directive
+}
+
+type job struct {
+	spec    JobSpec
+	workers []int // indexes into Master.workers
+	status  JobStatus
+	iter    int // last completed iteration (max over barriers)
+
+	barriers map[int]*barrierState
+	doneFrom map[string]bool
+	loss     float64
+
+	// checkpoint is the latest background model snapshot (§VI fault
+	// tolerance), covering checkpointIter.
+	checkpoint     []float64
+	checkpointIter int
+
+	pauseRequested bool
+	pausedCh       chan struct{} // closed when the pause takes effect
+	finishedCh     chan struct{} // closed when all workers complete
+}
+
+// Master coordinates the live runtime. Create with New; stop with Close.
+type Master struct {
+	srv  *rpc.Server
+	addr string
+
+	mu       sync.Mutex
+	workers  []workerRef
+	jobs     map[string]*job
+	profiles *profile.Store
+	opts     core.Options
+	closed   bool
+}
+
+// New starts a master listening on addr ("127.0.0.1:0" for tests).
+func New(addr string, opts core.Options) (*Master, error) {
+	m := &Master{
+		srv:      rpc.NewServer(),
+		jobs:     make(map[string]*job),
+		profiles: profile.NewStore(profile.DefaultEWMAAlpha),
+		opts:     opts,
+	}
+	m.srv.Handle("master.register", rpc.Typed(m.handleRegister))
+	m.srv.Handle(worker.MethodBarrier, rpc.Typed(m.handleBarrier))
+	m.srv.Handle(worker.MethodJobDone, rpc.Typed(m.handleJobDone))
+	bound, err := m.srv.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	m.addr = bound
+	return m, nil
+}
+
+// Addr is the master's RPC address for workers to dial.
+func (m *Master) Addr() string { return m.addr }
+
+type registerArgs struct {
+	Name string
+	Addr string
+}
+
+func (m *Master) handleRegister(a registerArgs) (worker.Ack, error) {
+	client, err := rpc.Dial(a.Addr, 10*time.Second)
+	if err != nil {
+		return worker.Ack{}, fmt.Errorf("master: dial back worker %s: %w", a.Name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		client.Close()
+		return worker.Ack{}, rpc.ErrClosed
+	}
+	for _, w := range m.workers {
+		if w.name == a.Name {
+			client.Close()
+			return worker.Ack{}, fmt.Errorf("master: duplicate worker name %q", a.Name)
+		}
+	}
+	m.workers = append(m.workers, workerRef{name: a.Name, addr: a.Addr, client: client})
+	return worker.Ack{}, nil
+}
+
+// WaitForWorkers blocks until n workers have registered.
+func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		got := len(m.workers)
+		m.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("master: %d of %d workers after %s", got, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Workers reports registered worker names.
+func (m *Master) Workers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, len(m.workers))
+	for i, w := range m.workers {
+		names[i] = w.name
+	}
+	return names
+}
+
+// Submit loads and starts a job across the given workers (all registered
+// workers when group is nil).
+func (m *Master) Submit(spec JobSpec, group []string) error {
+	if spec.Name == "" || spec.Iterations <= 0 {
+		return errors.New("master: job needs a name and positive iterations")
+	}
+	m.mu.Lock()
+	if _, dup := m.jobs[spec.Name]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("master: duplicate job %q", spec.Name)
+	}
+	idxs, err := m.workerIndexesLocked(group)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	j := &job{
+		spec: spec, workers: idxs, status: StatusRunning,
+		barriers:   make(map[int]*barrierState),
+		doneFrom:   make(map[string]bool),
+		pausedCh:   make(chan struct{}),
+		finishedCh: make(chan struct{}),
+	}
+	m.jobs[spec.Name] = j
+	m.mu.Unlock()
+
+	if err := m.deploy(j, nil, 0); err != nil {
+		m.mu.Lock()
+		delete(m.jobs, spec.Name)
+		m.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (m *Master) workerIndexesLocked(group []string) ([]int, error) {
+	if len(m.workers) == 0 {
+		return nil, errors.New("master: no workers registered")
+	}
+	if group == nil {
+		idxs := make([]int, len(m.workers))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs, nil
+	}
+	var idxs []int
+	for _, name := range group {
+		found := -1
+		for i, w := range m.workers {
+			if w.name == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("master: unknown worker %q", name)
+		}
+		idxs = append(idxs, found)
+	}
+	if len(idxs) == 0 {
+		return nil, errors.New("master: empty worker group")
+	}
+	return idxs, nil
+}
+
+// deploy loads a job onto its worker group and starts iterating; restore
+// carries checkpointed model parameters for migrations.
+func (m *Master) deploy(j *job, restore []float64, fromIter int) error {
+	m.mu.Lock()
+	refs := make([]workerRef, len(j.workers))
+	for i, wi := range j.workers {
+		refs[i] = m.workers[wi]
+	}
+	m.mu.Unlock()
+	servers := make([]string, len(refs))
+	for i, r := range refs {
+		servers[i] = r.addr
+	}
+	for i, r := range refs {
+		args := worker.LoadJobArgs{
+			Job: j.spec.Name, Config: j.spec.Config, Servers: servers,
+			ShardIndex: i, ShardCount: len(refs), Seed: j.spec.Seed,
+			InitModel: i == 0, Alpha: j.spec.Alpha,
+		}
+		if i == 0 && restore != nil {
+			args.Restore = restore
+		}
+		if _, err := rpc.Invoke[worker.LoadJobArgs, worker.Ack](r.client,
+			worker.MethodLoadJob, args, time.Minute); err != nil {
+			return fmt.Errorf("master: load %s on %s: %w", j.spec.Name, r.name, err)
+		}
+	}
+	for _, r := range refs {
+		if _, err := rpc.Invoke[worker.StartJobArgs, worker.Ack](r.client,
+			worker.MethodStartJob, worker.StartJobArgs{
+				Job: j.spec.Name, FromIteration: fromIter, Iterations: j.spec.Iterations,
+			}, time.Minute); err != nil {
+			return fmt.Errorf("master: start %s on %s: %w", j.spec.Name, r.name, err)
+		}
+	}
+	return nil
+}
+
+// handleBarrier blocks each worker until the whole group reaches the
+// iteration boundary, then releases them with the pending directive.
+func (m *Master) handleBarrier(a worker.BarrierArgs) (worker.BarrierReply, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[a.Job]
+	if !ok {
+		m.mu.Unlock()
+		return worker.BarrierReply{Directive: worker.Stop}, nil
+	}
+	_ = m.profiles.Observe(a.Job, len(j.workers), a.CompSeconds, a.NetSeconds)
+	j.loss = a.Loss
+	if a.Iteration > j.iter {
+		j.iter = a.Iteration
+	}
+	bs := j.barriers[a.Iteration]
+	if bs == nil {
+		bs = &barrierState{}
+		j.barriers[a.Iteration] = bs
+	}
+	bs.arrived++
+	if bs.arrived < len(j.workers) {
+		ch := make(chan worker.Directive, 1)
+		bs.waiters = append(bs.waiters, ch)
+		m.mu.Unlock()
+		select {
+		case d := <-ch:
+			return worker.BarrierReply{Directive: d}, nil
+		case <-time.After(5 * time.Minute):
+			return worker.BarrierReply{Directive: worker.Stop},
+				errors.New("master: barrier timed out")
+		}
+	}
+	// Last arrival: release the whole group.
+	d := worker.Continue
+	if j.pauseRequested {
+		d = worker.Pause
+		j.status = StatusPaused
+		j.pauseRequested = false
+		close(j.pausedCh)
+	}
+	delete(j.barriers, a.Iteration)
+	if d == worker.Continue {
+		m.maybeCheckpoint(j, a.Iteration)
+	}
+	for _, ch := range bs.waiters {
+		ch <- d
+	}
+	m.mu.Unlock()
+	return worker.BarrierReply{Directive: d}, nil
+}
+
+func (m *Master) handleJobDone(a worker.JobDoneArgs) (worker.Ack, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[a.Job]
+	if !ok {
+		return worker.Ack{}, nil
+	}
+	j.doneFrom[a.Worker] = true
+	if len(j.doneFrom) >= len(j.workers) && j.status != StatusFinished {
+		j.status = StatusFinished
+		close(j.finishedCh)
+	}
+	return worker.Ack{}, nil
+}
+
+// WaitJob blocks until the job completes.
+func (m *Master) WaitJob(name string, timeout time.Duration) error {
+	m.mu.Lock()
+	j, ok := m.jobs[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("master: unknown job %q", name)
+	}
+	select {
+	case <-j.finishedCh:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("master: job %q not finished after %s", name, timeout)
+	}
+}
+
+// Status reports a job's state, last completed iteration, and loss.
+func (m *Master) Status(name string) (JobStatus, int, float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[name]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("master: unknown job %q", name)
+	}
+	return j.status, j.iter, j.loss, nil
+}
+
+// Metrics exposes the profiled (T_cpu, T_net) estimates for a job.
+func (m *Master) Metrics(name string) (profile.Metrics, bool) {
+	return m.profiles.Metrics(name)
+}
+
+// Pause stops a job at its next iteration boundary and returns its model
+// checkpoint (§IV-B4: "waits until ongoing iteration ends, stops the
+// subtasks of the job, and checkpoints the model parameters").
+func (m *Master) Pause(name string, timeout time.Duration) ([]float64, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[name]
+	if !ok || j.status != StatusRunning {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("master: job %q not running", name)
+	}
+	j.pauseRequested = true
+	pausedCh := j.pausedCh
+	finishedCh := j.finishedCh
+	servers := m.serverAddrsLocked(j)
+	m.mu.Unlock()
+
+	select {
+	case <-pausedCh:
+	case <-finishedCh:
+		return nil, fmt.Errorf("master: job %q finished before pausing", name)
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("master: pause of %q timed out", name)
+	}
+	client, err := ps.NewClient(servers, time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	return client.Snapshot(name, j.spec.Config.ModelSize())
+}
+
+// Resume migrates a paused job onto a (possibly different) worker group,
+// restoring the checkpointed model; input shards are regenerated, not
+// migrated (§IV-B4).
+func (m *Master) Resume(name string, group []string, checkpoint []float64) error {
+	m.mu.Lock()
+	j, ok := m.jobs[name]
+	if !ok || j.status != StatusPaused {
+		m.mu.Unlock()
+		return fmt.Errorf("master: job %q not paused", name)
+	}
+	oldRefs := make([]workerRef, len(j.workers))
+	for i, wi := range j.workers {
+		oldRefs[i] = m.workers[wi]
+	}
+	idxs, err := m.workerIndexesLocked(group)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	fromIter := j.iter + 1
+	j.workers = idxs
+	j.status = StatusRunning
+	j.pausedCh = make(chan struct{})
+	j.barriers = make(map[int]*barrierState)
+	m.mu.Unlock()
+
+	// Tear the old placement down; shards and model partitions are
+	// rebuilt on the new group.
+	for _, r := range oldRefs {
+		_, _ = rpc.Invoke[worker.DropJobArgs, worker.Ack](r.client,
+			worker.MethodDropJob, worker.DropJobArgs{Job: name}, time.Minute)
+		_, _ = rpc.Invoke[ps.DropArgs, ps.Ack](r.client,
+			ps.MethodDrop, ps.DropArgs{Job: name}, time.Minute)
+	}
+	return m.deploy(j, checkpoint, fromIter)
+}
+
+// serverAddrsLocked lists the PS addresses of a job's current group.
+func (m *Master) serverAddrsLocked(j *job) []string {
+	addrs := make([]string, len(j.workers))
+	for i, wi := range j.workers {
+		addrs[i] = m.workers[wi].addr
+	}
+	return addrs
+}
+
+// PlanGroups runs Algorithm 1 over the currently profiled jobs, mapping
+// machine counts to concrete worker subsets. It returns job→workers
+// assignments without applying them; callers migrate via Pause/Resume.
+func (m *Master) PlanGroups() (map[string][]string, error) {
+	m.mu.Lock()
+	var infos []core.JobInfo
+	for name := range m.jobs {
+		if met, ok := m.profiles.Metrics(name); ok && met.Profiled() {
+			infos = append(infos, core.JobInfo{
+				ID:   name,
+				Comp: met.CompMachineSeconds,
+				Net:  met.NetSeconds,
+			})
+		}
+	}
+	total := len(m.workers)
+	names := make([]string, len(m.workers))
+	for i, w := range m.workers {
+		names[i] = w.name
+	}
+	m.mu.Unlock()
+	if len(infos) == 0 {
+		return nil, errors.New("master: no profiled jobs to plan")
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].ID < infos[b].ID })
+	plan := core.Schedule(infos, total, m.opts)
+	if len(plan.Groups) == 0 {
+		return nil, errors.New("master: scheduler produced no groups")
+	}
+	out := make(map[string][]string)
+	next := 0
+	for _, g := range plan.Groups {
+		take := g.Machines
+		if next+take > total {
+			take = total - next
+		}
+		if take < 1 {
+			take = 1
+			next = total - 1
+		}
+		members := names[next : next+take]
+		next += take
+		for _, job := range g.Jobs {
+			out[job.ID] = members
+		}
+	}
+	return out, nil
+}
+
+// WorkerStats aggregates executor utilization across workers.
+func (m *Master) WorkerStats() (cpu, net float64, err error) {
+	m.mu.Lock()
+	refs := append([]workerRef(nil), m.workers...)
+	m.mu.Unlock()
+	if len(refs) == 0 {
+		return 0, 0, errors.New("master: no workers")
+	}
+	for _, r := range refs {
+		st, err := rpc.Invoke[worker.StatsArgs, worker.StatsReply](r.client,
+			worker.MethodStats, worker.StatsArgs{}, time.Minute)
+		if err != nil {
+			return 0, 0, err
+		}
+		cpu += st.CPUUtil
+		net += st.NetUtil
+	}
+	return cpu / float64(len(refs)), net / float64(len(refs)), nil
+}
+
+// Close releases all barriers with Stop and shuts the master down.
+func (m *Master) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, j := range m.jobs {
+		for _, bs := range j.barriers {
+			for _, ch := range bs.waiters {
+				ch <- worker.Stop
+			}
+		}
+		j.barriers = make(map[int]*barrierState)
+	}
+	clients := make([]*rpc.Client, 0, len(m.workers))
+	for _, w := range m.workers {
+		clients = append(clients, w.client)
+	}
+	m.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	m.srv.Close()
+}

@@ -1,0 +1,162 @@
+package master
+
+import (
+	"fmt"
+	"time"
+
+	"harmony/internal/ps"
+	"harmony/internal/rpc"
+	"harmony/internal/worker"
+)
+
+// CheckpointEvery is how often (in iterations) the master snapshots each
+// job's model in the background — the paper's standard failure handling
+// is "checkpointing (per epoch) and restart" (§VI).
+const CheckpointEvery = 5
+
+// maybeCheckpoint is called from the barrier handler when a group
+// iteration completes; it snapshots asynchronously so the release is not
+// delayed.
+func (m *Master) maybeCheckpoint(j *job, iteration int) {
+	if iteration == 0 || iteration%CheckpointEvery != 0 {
+		return
+	}
+	servers := m.serverAddrsLocked(j)
+	name := j.spec.Name
+	size := j.spec.Config.ModelSize()
+	go func() {
+		client, err := ps.NewClient(servers, time.Minute)
+		if err != nil {
+			return // servers mid-teardown; the next checkpoint will catch up
+		}
+		defer client.Close()
+		snap, err := client.Snapshot(name, size)
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if jj, ok := m.jobs[name]; ok && jj == j && iteration > j.checkpointIter {
+			j.checkpoint = snap
+			j.checkpointIter = iteration
+		}
+		m.mu.Unlock()
+	}()
+}
+
+// Checkpoint reports the job's most recent background snapshot and the
+// iteration it covers (nil before the first CheckpointEvery iterations).
+func (m *Master) Checkpoint(name string) ([]float64, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("master: unknown job %q", name)
+	}
+	if j.checkpoint == nil {
+		return nil, 0, nil
+	}
+	out := make([]float64, len(j.checkpoint))
+	copy(out, j.checkpoint)
+	return out, j.checkpointIter, nil
+}
+
+// RemoveWorker unregisters a failed worker. Jobs whose groups included it
+// are marked paused (their barriers are released with Stop so surviving
+// workers park the job); callers then RecoverJob each one. A machine
+// failure "may have an impact on all co-located jobs" (§VI) — every job
+// on the worker is affected.
+func (m *Master) RemoveWorker(name string) ([]string, error) {
+	m.mu.Lock()
+	idx := -1
+	for i, w := range m.workers {
+		if w.name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("master: unknown worker %q", name)
+	}
+	dead := m.workers[idx]
+	m.workers = append(m.workers[:idx], m.workers[idx+1:]...)
+
+	var affected []string
+	for jobName, j := range m.jobs {
+		uses := false
+		members := make([]int, 0, len(j.workers))
+		for _, wi := range j.workers {
+			switch {
+			case wi == idx:
+				uses = true
+			case wi > idx:
+				members = append(members, wi-1) // indexes shift left
+			default:
+				members = append(members, wi)
+			}
+		}
+		j.workers = members
+		if !uses || j.status == StatusFinished {
+			continue
+		}
+		affected = append(affected, jobName)
+		j.status = StatusPaused
+		j.pauseRequested = false
+		// Release any workers blocked at this job's barrier so they stop.
+		for _, bs := range j.barriers {
+			for _, ch := range bs.waiters {
+				ch <- worker.Stop
+			}
+		}
+		j.barriers = make(map[int]*barrierState)
+		j.pausedCh = make(chan struct{})
+	}
+	m.mu.Unlock()
+	dead.client.Close()
+	return affected, nil
+}
+
+// RecoverJob restarts an affected job on the given worker group (nil =
+// every surviving worker), restoring the latest background checkpoint —
+// progress since that checkpoint is recomputed, as with any
+// checkpoint/restart scheme.
+func (m *Master) RecoverJob(name string, group []string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("master: unknown job %q", name)
+	}
+	if j.status == StatusFinished {
+		m.mu.Unlock()
+		return nil
+	}
+	idxs, err := m.workerIndexesLocked(group)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	restore := j.checkpoint
+	fromIter := 0
+	if restore != nil {
+		fromIter = j.checkpointIter + 1
+	}
+	oldRefs := make([]workerRef, len(j.workers))
+	for i, wi := range j.workers {
+		oldRefs[i] = m.workers[wi]
+	}
+	j.workers = idxs
+	j.status = StatusRunning
+	j.barriers = make(map[int]*barrierState)
+	j.doneFrom = make(map[string]bool)
+	m.mu.Unlock()
+
+	// Best-effort cleanup on survivors that hosted the old placement.
+	for _, r := range oldRefs {
+		_, _ = rpc.Invoke[worker.DropJobArgs, worker.Ack](r.client,
+			worker.MethodDropJob, worker.DropJobArgs{Job: name}, time.Minute)
+		_, _ = rpc.Invoke[ps.DropArgs, ps.Ack](r.client,
+			ps.MethodDrop, ps.DropArgs{Job: name}, time.Minute)
+	}
+	return m.deploy(j, restore, fromIter)
+}

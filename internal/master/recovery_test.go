@@ -1,0 +1,121 @@
+package master
+
+import (
+	"testing"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/mlapp"
+	"harmony/internal/worker"
+)
+
+// TestWorkerFailureRecovery kills a worker mid-training and recovers the
+// job on the survivors from the latest background checkpoint (§VI).
+func TestWorkerFailureRecovery(t *testing.T) {
+	m, err := New("127.0.0.1:0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	workers := make([]*worker.Worker, 3)
+	for i := range workers {
+		w, _, err := worker.New("w"+string(rune('0'+i)), "127.0.0.1:0", m.Addr(), t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers[1:] {
+			w.Close()
+		}
+	}()
+	if err := m.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.Submit(JobSpec{
+		Name:       "mlr",
+		Config:     mlapp.Config{Kind: mlapp.MLR, Features: 12, Classes: 3, Rows: 96, LearningRate: 0.2},
+		Iterations: 60,
+		Seed:       5,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for a background checkpoint to land.
+	deadline := time.Now().Add(20 * time.Second)
+	var ckIter int
+	for time.Now().Before(deadline) {
+		snap, iter, err := m.Checkpoint("mlr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap != nil {
+			ckIter = iter
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ckIter == 0 {
+		t.Fatal("no background checkpoint within deadline")
+	}
+
+	// Kill worker 0 and recover on the survivors.
+	workers[0].Close()
+	affected, err := m.RemoveWorker("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != "mlr" {
+		t.Fatalf("affected jobs = %v, want [mlr]", affected)
+	}
+	// Cut the remaining run short so the test stays fast.
+	m.mu.Lock()
+	m.jobs["mlr"].spec.Iterations = ckIter + 4
+	m.mu.Unlock()
+	if err := m.RecoverJob("mlr", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitJob("mlr", 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	status, iter, loss, err := m.Status("mlr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusFinished {
+		t.Errorf("status = %v after recovery", status)
+	}
+	if iter < ckIter {
+		t.Errorf("final iteration %d below checkpoint %d", iter, ckIter)
+	}
+	if loss <= 0 {
+		t.Errorf("loss = %v after recovery", loss)
+	}
+}
+
+func TestRemoveWorkerUnknown(t *testing.T) {
+	m, err := New("127.0.0.1:0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.RemoveWorker("ghost"); err == nil {
+		t.Error("RemoveWorker on unknown worker succeeded")
+	}
+}
+
+func TestCheckpointUnknownJob(t *testing.T) {
+	m, err := New("127.0.0.1:0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, _, err := m.Checkpoint("ghost"); err == nil {
+		t.Error("Checkpoint on unknown job succeeded")
+	}
+	if err := m.RecoverJob("ghost", nil); err == nil {
+		t.Error("RecoverJob on unknown job succeeded")
+	}
+}

@@ -1,0 +1,260 @@
+// Package memstore is the live runtime's block-granular input-data store
+// with spill and reload (§IV-C): a fraction α of a job's input blocks
+// lives on disk and is streamed back in the background before each COMP
+// subtask needs it, bounding the resident heap while keeping compute
+// unblocked.
+package memstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("memstore: store closed")
+
+// Block is one unit of spillable data.
+type Block struct {
+	// ID is unique within the store.
+	ID int
+	// Payload is arbitrary gob-encodable content (the live runtime
+	// stores mlapp shards).
+	Payload []byte
+}
+
+// Store manages a job's input blocks across memory and disk. It is safe
+// for concurrent use; the background reloader runs in its own goroutine.
+type Store struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	dir      string
+	resident map[int]*Block
+	onDisk   map[int]string // block id -> file path
+	alpha    float64
+	order    []int // all block ids, spill priority order
+	closed   bool
+
+	reloadCh chan int
+	done     chan struct{}
+
+	// Stats.
+	spills  int
+	reloads int
+}
+
+// Open creates a store that spills into dir (created if needed).
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memstore: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		resident: make(map[int]*Block),
+		onDisk:   make(map[int]string),
+		reloadCh: make(chan int, 64),
+		done:     make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.reloader()
+	return s, nil
+}
+
+// Put registers a block, initially resident.
+func (s *Store) Put(b *Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.resident[b.ID]; dup {
+		return fmt.Errorf("memstore: duplicate block %d", b.ID)
+	}
+	if _, dup := s.onDisk[b.ID]; dup {
+		return fmt.Errorf("memstore: duplicate block %d", b.ID)
+	}
+	s.resident[b.ID] = b
+	s.order = append(s.order, b.ID)
+	return nil
+}
+
+// SetAlpha adjusts the disk-side ratio α and rebalances: blocks are
+// spilled synchronously (cheap: a file write) while reloads happen in the
+// background.
+func (s *Store) SetAlpha(alpha float64) error {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.alpha = alpha
+	return s.rebalanceLocked()
+}
+
+// Alpha reports the current disk-side ratio target.
+func (s *Store) Alpha() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alpha
+}
+
+// rebalanceLocked moves blocks to match α: the first ⌈α·n⌉ ids in spill
+// order live on disk, the rest in memory.
+func (s *Store) rebalanceLocked() error {
+	n := len(s.order)
+	wantDisk := int(float64(n)*s.alpha + 0.5)
+	for i, id := range s.order {
+		if i < wantDisk {
+			if b, ok := s.resident[id]; ok {
+				if err := s.spillLocked(b); err != nil {
+					return err
+				}
+			}
+		} else if _, ok := s.onDisk[id]; ok {
+			// Queue a background reload.
+			select {
+			case s.reloadCh <- id:
+			default:
+				// Reloader busy; it will catch up on the next Get or
+				// rebalance.
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) spillLocked(b *Block) error {
+	path := filepath.Join(s.dir, fmt.Sprintf("block-%d.gob", b.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memstore: spill block %d: %w", b.ID, err)
+	}
+	if err := gob.NewEncoder(f).Encode(b); err != nil {
+		f.Close()
+		return fmt.Errorf("memstore: spill block %d: %w", b.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memstore: spill block %d: %w", b.ID, err)
+	}
+	delete(s.resident, b.ID)
+	s.onDisk[b.ID] = path
+	s.spills++
+	return nil
+}
+
+// Get returns a block, reloading it synchronously if it is on disk (a
+// blocked COMP subtask — the stall §IV-C tries to avoid).
+func (s *Store) Get(id int) (*Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, ErrClosed
+		}
+		if b, ok := s.resident[id]; ok {
+			return b, nil
+		}
+		if _, ok := s.onDisk[id]; ok {
+			b, err := s.loadLocked(id)
+			if err != nil {
+				return nil, err
+			}
+			return b, nil
+		}
+		return nil, fmt.Errorf("memstore: unknown block %d", id)
+	}
+}
+
+func (s *Store) loadLocked(id int) (*Block, error) {
+	path := s.onDisk[id]
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("memstore: reload block %d: %w", id, err)
+	}
+	defer f.Close()
+	var b Block
+	if err := gob.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("memstore: reload block %d: %w", id, err)
+	}
+	delete(s.onDisk, id)
+	s.resident[id] = &b
+	s.reloads++
+	// Keep the spill file: re-spilling the block later becomes free, and
+	// Close removes the directory anyway.
+	return &b, nil
+}
+
+// Prefetch queues a background reload so a later Get does not block.
+func (s *Store) Prefetch(id int) {
+	select {
+	case s.reloadCh <- id:
+	default:
+	}
+}
+
+// reloader streams queued blocks back into memory.
+func (s *Store) reloader() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case id := <-s.reloadCh:
+			s.mu.Lock()
+			if !s.closed {
+				if _, onDisk := s.onDisk[id]; onDisk {
+					// Only reload blocks the α target wants resident.
+					n := len(s.order)
+					wantDisk := int(float64(n)*s.alpha + 0.5)
+					pos := -1
+					for i, oid := range s.order {
+						if oid == id {
+							pos = i
+							break
+						}
+					}
+					if pos >= wantDisk {
+						_, _ = s.loadLocked(id)
+					}
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Stats reports resident/disk block counts and cumulative spill/reload
+// operations.
+func (s *Store) Stats() (resident, onDisk, spills, reloads int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.resident), len(s.onDisk), s.spills, s.reloads
+}
+
+// Blocks reports how many blocks the store manages.
+func (s *Store) Blocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Close stops the reloader and removes spill files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	return os.RemoveAll(s.dir)
+}

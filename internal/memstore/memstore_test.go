@@ -1,0 +1,211 @@
+package memstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir() + "/spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func fill(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Put(&Block{ID: i, Payload: []byte(fmt.Sprintf("payload-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	s := open(t)
+	fill(t, s, 5)
+	b, err := s.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Payload) != "payload-3" {
+		t.Errorf("payload = %q", b.Payload)
+	}
+	if _, err := s.Get(99); err == nil {
+		t.Error("Get(99) succeeded for unknown block")
+	}
+}
+
+func TestDuplicatePut(t *testing.T) {
+	s := open(t)
+	fill(t, s, 1)
+	if err := s.Put(&Block{ID: 0}); err == nil {
+		t.Error("duplicate Put succeeded")
+	}
+}
+
+func TestSpillMovesBlocksToDisk(t *testing.T) {
+	s := open(t)
+	fill(t, s, 10)
+	if err := s.SetAlpha(0.5); err != nil {
+		t.Fatal(err)
+	}
+	resident, onDisk, spills, _ := s.Stats()
+	if onDisk != 5 || resident != 5 {
+		t.Errorf("resident/disk = %d/%d, want 5/5", resident, onDisk)
+	}
+	if spills != 5 {
+		t.Errorf("spills = %d, want 5", spills)
+	}
+}
+
+func TestGetReloadsSpilledBlock(t *testing.T) {
+	s := open(t)
+	fill(t, s, 4)
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Payload) != "payload-2" {
+		t.Errorf("payload = %q after reload", b.Payload)
+	}
+	_, _, _, reloads := s.Stats()
+	if reloads != 1 {
+		t.Errorf("reloads = %d, want 1", reloads)
+	}
+}
+
+func TestAlphaRoundTripPreservesData(t *testing.T) {
+	s := open(t)
+	fill(t, s, 8)
+	for _, a := range []float64{1, 0, 0.5, 0} {
+		if err := s.SetAlpha(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything must still be readable with the right contents.
+	waitFor(t, func() bool {
+		resident, _, _, _ := s.Stats()
+		return resident == 8
+	})
+	for i := 0; i < 8; i++ {
+		b, err := s.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b.Payload) != fmt.Sprintf("payload-%d", i) {
+			t.Errorf("block %d corrupted: %q", i, b.Payload)
+		}
+	}
+}
+
+func TestBackgroundReloadAfterAlphaDrop(t *testing.T) {
+	s := open(t)
+	fill(t, s, 6)
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlpha(0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		resident, onDisk, _, _ := s.Stats()
+		return resident == 6 && onDisk == 0
+	})
+}
+
+func TestPrefetchAvoidsBlocking(t *testing.T) {
+	s := open(t)
+	fill(t, s, 4)
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlpha(0.0); err != nil { // target: everything resident
+		t.Fatal(err)
+	}
+	s.Prefetch(0)
+	waitFor(t, func() bool {
+		resident, _, _, _ := s.Stats()
+		return resident >= 1
+	})
+}
+
+func TestAlphaClamped(t *testing.T) {
+	s := open(t)
+	fill(t, s, 2)
+	if err := s.SetAlpha(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Alpha(); got != 1 {
+		t.Errorf("alpha = %v, want clamp to 1", got)
+	}
+	if err := s.SetAlpha(-3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Alpha(); got != 0 {
+		t.Errorf("alpha = %v, want clamp to 0", got)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := open(t)
+	fill(t, s, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&Block{ID: 9}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Get(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after close = %v, want ErrClosed", err)
+	}
+	if err := s.SetAlpha(0.5); !errors.Is(err, ErrClosed) {
+		t.Errorf("SetAlpha after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close errored:", err)
+	}
+}
+
+// TestConservation checks by property that no α sequence loses blocks:
+// resident + onDisk always equals the number of blocks put.
+func TestConservation(t *testing.T) {
+	s := open(t)
+	fill(t, s, 12)
+	f := func(steps []uint8) bool {
+		for _, st := range steps {
+			if err := s.SetAlpha(float64(st%11) / 10); err != nil {
+				return false
+			}
+			resident, onDisk, _, _ := s.Stats()
+			if resident+onDisk != 12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}

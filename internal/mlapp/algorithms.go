@@ -1,0 +1,347 @@
+package mlapp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mlr is multinomial logistic regression trained by mini-batch gradient
+// descent on the softmax cross-entropy loss.
+type mlr struct {
+	cfg Config
+}
+
+func (m *mlr) Kind() Kind { return MLR }
+
+func (m *mlr) InitModel(rng *rand.Rand) []float64 {
+	w := make([]float64, m.cfg.ModelSize())
+	for i := range w {
+		w[i] = 0.01 * rng.NormFloat64()
+	}
+	return w
+}
+
+func (m *mlr) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	c := m.cfg.withDefaults()
+	grad := make([]float64, len(model))
+	probs := make([]float64, c.Classes)
+	for _, ex := range shard.Examples {
+		softmax(model, ex.X, c, probs)
+		y := int(ex.Y)
+		for cl := 0; cl < c.Classes; cl++ {
+			coef := probs[cl]
+			if cl == y {
+				coef -= 1
+			}
+			row := cl * c.Features
+			for f, x := range ex.X {
+				grad[row+f] -= c.LearningRate * coef * x / float64(len(shard.Examples))
+			}
+		}
+	}
+	return grad
+}
+
+func (m *mlr) Loss(model []float64, shard *Shard) float64 {
+	c := m.cfg.withDefaults()
+	probs := make([]float64, c.Classes)
+	var loss float64
+	for _, ex := range shard.Examples {
+		softmax(model, ex.X, c, probs)
+		p := probs[int(ex.Y)]
+		loss -= math.Log(math.Max(p, 1e-12))
+	}
+	return loss / float64(maxInt(len(shard.Examples), 1))
+}
+
+func softmax(model, x []float64, c Config, out []float64) {
+	maxLogit := math.Inf(-1)
+	for cl := 0; cl < c.Classes; cl++ {
+		var logit float64
+		row := cl * c.Features
+		for f, xv := range x {
+			logit += model[row+f] * xv
+		}
+		out[cl] = logit
+		if logit > maxLogit {
+			maxLogit = logit
+		}
+	}
+	var sum float64
+	for cl := range out {
+		out[cl] = math.Exp(out[cl] - maxLogit)
+		sum += out[cl]
+	}
+	for cl := range out {
+		out[cl] /= sum
+	}
+}
+
+// lasso is L1-regularized linear regression trained by proximal gradient
+// steps (soft thresholding).
+type lasso struct {
+	cfg Config
+}
+
+func (l *lasso) Kind() Kind { return Lasso }
+
+func (l *lasso) InitModel(rng *rand.Rand) []float64 {
+	return make([]float64, l.cfg.ModelSize())
+}
+
+func (l *lasso) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	c := l.cfg.withDefaults()
+	grad := make([]float64, len(model))
+	n := float64(maxInt(len(shard.Examples), 1))
+	for _, ex := range shard.Examples {
+		pred := dot(model, ex.X)
+		resid := pred - ex.Y
+		for f, x := range ex.X {
+			grad[f] -= c.LearningRate * resid * x / n
+		}
+	}
+	// Proximal step: express soft thresholding as an additive delta so
+	// servers can apply it with a plain +=.
+	for f := range grad {
+		next := softThreshold(model[f]+grad[f], c.LearningRate*c.Lambda)
+		grad[f] = next - model[f]
+	}
+	return grad
+}
+
+func (l *lasso) Loss(model []float64, shard *Shard) float64 {
+	c := l.cfg.withDefaults()
+	var loss float64
+	for _, ex := range shard.Examples {
+		r := dot(model, ex.X) - ex.Y
+		loss += r * r / 2
+	}
+	loss /= float64(maxInt(len(shard.Examples), 1))
+	var l1 float64
+	for _, w := range model {
+		l1 += math.Abs(w)
+	}
+	return loss + c.Lambda*l1
+}
+
+func softThreshold(v, t float64) float64 {
+	switch {
+	case v > t:
+		return v - t
+	case v < -t:
+		return v + t
+	default:
+		return 0
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range b {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// nmf factorizes the ratings matrix X ≈ Uᵀ·V with non-negative factors;
+// the item-factor matrix V lives in the parameter servers while per-row
+// user factors U are recomputed locally (the standard PS formulation).
+type nmf struct {
+	cfg Config
+}
+
+func (n *nmf) Kind() Kind { return NMF }
+
+func (n *nmf) InitModel(rng *rand.Rand) []float64 {
+	v := make([]float64, n.cfg.ModelSize())
+	for i := range v {
+		v[i] = 0.1 + 0.1*rng.Float64()
+	}
+	return v
+}
+
+func (n *nmf) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	c := n.cfg.withDefaults()
+	grad := make([]float64, len(model))
+	u := make([]float64, c.Classes)
+	rows := float64(maxInt(len(shard.Examples), 1))
+	for _, ex := range shard.Examples {
+		n.solveUser(model, ex.X, u)
+		// Gradient of ||x - Vᵀu||² with respect to V, projected to keep
+		// factors non-negative.
+		for k := 0; k < c.Classes; k++ {
+			row := k * c.Features
+			for f, x := range ex.X {
+				pred := predictNMF(model, u, f, c)
+				g := -c.LearningRate * (pred - x) * u[k] / rows
+				next := model[row+f] + grad[row+f] + g
+				if next < 0 {
+					g = -(model[row+f] + grad[row+f])
+				}
+				grad[row+f] += g
+			}
+		}
+	}
+	return grad
+}
+
+// solveUser fits the user factors for one row by a few multiplicative
+// updates against the current item factors.
+func (n *nmf) solveUser(model, x []float64, u []float64) {
+	c := n.cfg.withDefaults()
+	for k := range u {
+		u[k] = 0.5
+	}
+	for it := 0; it < 5; it++ {
+		for k := 0; k < c.Classes; k++ {
+			var num, den float64
+			row := k * c.Features
+			for f, xv := range x {
+				num += model[row+f] * xv
+				den += model[row+f] * predictNMF(model, u, f, c)
+			}
+			if den > 1e-12 {
+				u[k] *= num / den
+			}
+		}
+	}
+}
+
+func predictNMF(model, u []float64, f int, c Config) float64 {
+	var p float64
+	for k := 0; k < c.Classes; k++ {
+		p += u[k] * model[k*c.Features+f]
+	}
+	return p
+}
+
+func (n *nmf) Loss(model []float64, shard *Shard) float64 {
+	c := n.cfg.withDefaults()
+	u := make([]float64, c.Classes)
+	var loss float64
+	var count int
+	for _, ex := range shard.Examples {
+		n.solveUser(model, ex.X, u)
+		for f, x := range ex.X {
+			r := predictNMF(model, u, f, c) - x
+			loss += r * r
+			count++
+		}
+	}
+	return loss / float64(maxInt(count, 1))
+}
+
+// lda is latent Dirichlet allocation trained by one collapsed-Gibbs sweep
+// per COMP subtask; the global topic-word counts are the PS model.
+type lda struct {
+	cfg Config
+}
+
+func (l *lda) Kind() Kind { return LDA }
+
+func (l *lda) InitModel(rng *rand.Rand) []float64 {
+	// Topic-word counts start at a small smoothing mass.
+	m := make([]float64, l.cfg.ModelSize())
+	for i := range m {
+		m[i] = 0.1
+	}
+	return m
+}
+
+func (l *lda) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	c := l.cfg.withDefaults()
+	const alphaDirichlet = 0.1
+	delta := make([]float64, len(model))
+	probs := make([]float64, c.Classes)
+	topicTotals := make([]float64, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		var t float64
+		for f := 0; f < c.Features; f++ {
+			t += model[k*c.Features+f]
+		}
+		topicTotals[k] = t
+	}
+	for _, doc := range shard.Examples {
+		docCounts := make([]float64, c.Classes)
+		assignments := make([]int, len(doc.Tokens))
+		// Initialize assignments proportional to current word-topic mass.
+		for ti, w := range doc.Tokens {
+			for k := 0; k < c.Classes; k++ {
+				probs[k] = model[k*c.Features+w] / (topicTotals[k] + 1)
+			}
+			assignments[ti] = sample(probs, rng)
+			docCounts[assignments[ti]]++
+		}
+		// One Gibbs sweep.
+		for ti, w := range doc.Tokens {
+			old := assignments[ti]
+			docCounts[old]--
+			for k := 0; k < c.Classes; k++ {
+				wordMass := model[k*c.Features+w] + delta[k*c.Features+w]
+				probs[k] = (docCounts[k] + alphaDirichlet) * wordMass / (topicTotals[k] + 1)
+			}
+			next := sample(probs, rng)
+			assignments[ti] = next
+			docCounts[next]++
+			if next != old {
+				delta[old*c.Features+w]--
+				delta[next*c.Features+w]++
+				topicTotals[old]--
+				topicTotals[next]++
+			}
+		}
+	}
+	// Keep counts non-negative when applied.
+	for i := range delta {
+		if model[i]+delta[i] < 0.01 {
+			delta[i] = 0.01 - model[i]
+		}
+	}
+	return delta
+}
+
+func (l *lda) Loss(model []float64, shard *Shard) float64 {
+	c := l.cfg.withDefaults()
+	topicTotals := make([]float64, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		for f := 0; f < c.Features; f++ {
+			topicTotals[k] += model[k*c.Features+f]
+		}
+	}
+	var ll float64
+	var tokens int
+	for _, doc := range shard.Examples {
+		for _, w := range doc.Tokens {
+			var p float64
+			for k := 0; k < c.Classes; k++ {
+				p += (model[k*c.Features+w] / (topicTotals[k] + 1)) / float64(c.Classes)
+			}
+			ll -= math.Log(math.Max(p, 1e-12))
+			tokens++
+		}
+	}
+	return ll / float64(maxInt(tokens, 1))
+}
+
+func sample(weights []float64, rng *rand.Rand) int {
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum <= 0 {
+		return rng.Intn(len(weights))
+	}
+	r := rng.Float64() * sum
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,291 @@
+// Package ps implements the Parameter-Server architecture of §II-A: each
+// server holds a partition of every job's model vector, and workers
+// synchronize through the push/pull API. Servers are co-located with
+// workers in the live runtime, exactly as the paper's deployment does.
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"harmony/internal/rpc"
+)
+
+// Method names registered on the RPC server.
+const (
+	MethodInit     = "ps.init"
+	MethodPull     = "ps.pull"
+	MethodPush     = "ps.push"
+	MethodSnapshot = "ps.snapshot"
+	MethodRestore  = "ps.restore"
+	MethodDrop     = "ps.drop"
+)
+
+// InitArgs creates (or replaces) a job's partition on one server.
+type InitArgs struct {
+	Job    string
+	Lo     int // global index of Values[0]
+	Values []float64
+}
+
+// PullArgs fetches a job's partition.
+type PullArgs struct {
+	Job string
+}
+
+// PullReply carries the partition back.
+type PullReply struct {
+	Lo     int
+	Values []float64
+}
+
+// PushArgs applies an additive delta to a job's partition.
+type PushArgs struct {
+	Job   string
+	Lo    int
+	Delta []float64
+}
+
+// Ack is an empty success reply.
+type Ack struct{}
+
+// SnapshotArgs asks for a checkpoint of a job's partition (migration and
+// fault tolerance, §IV-B4/§VI).
+type SnapshotArgs struct {
+	Job string
+}
+
+// DropArgs removes a job's partition (after completion or migration).
+type DropArgs struct {
+	Job string
+}
+
+// partition is one job's shard of parameters on one server.
+type partition struct {
+	lo     int
+	values []float64
+}
+
+// Server hosts partitions for any number of jobs. Register it on an
+// rpc.Server with Register.
+type Server struct {
+	mu    sync.RWMutex
+	parts map[string]*partition
+}
+
+// NewServer returns an empty parameter server.
+func NewServer() *Server {
+	return &Server{parts: make(map[string]*partition)}
+}
+
+// Register installs the PS methods on the RPC server.
+func (s *Server) Register(srv *rpc.Server) {
+	srv.Handle(MethodInit, rpc.Typed(s.handleInit))
+	srv.Handle(MethodPull, rpc.Typed(s.handlePull))
+	srv.Handle(MethodPush, rpc.Typed(s.handlePush))
+	srv.Handle(MethodSnapshot, rpc.Typed(s.handleSnapshot))
+	srv.Handle(MethodRestore, rpc.Typed(s.handleRestore))
+	srv.Handle(MethodDrop, rpc.Typed(s.handleDrop))
+}
+
+func (s *Server) handleInit(a InitArgs) (Ack, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vals := make([]float64, len(a.Values))
+	copy(vals, a.Values)
+	s.parts[a.Job] = &partition{lo: a.Lo, values: vals}
+	return Ack{}, nil
+}
+
+func (s *Server) handlePull(a PullArgs) (PullReply, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.parts[a.Job]
+	if !ok {
+		return PullReply{}, fmt.Errorf("ps: no partition for job %q", a.Job)
+	}
+	vals := make([]float64, len(p.values))
+	copy(vals, p.values)
+	return PullReply{Lo: p.lo, Values: vals}, nil
+}
+
+func (s *Server) handlePush(a PushArgs) (Ack, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[a.Job]
+	if !ok {
+		return Ack{}, fmt.Errorf("ps: no partition for job %q", a.Job)
+	}
+	if a.Lo != p.lo || len(a.Delta) != len(p.values) {
+		return Ack{}, fmt.Errorf("ps: push shape mismatch for job %q: [%d,%d) vs [%d,%d)",
+			a.Job, a.Lo, a.Lo+len(a.Delta), p.lo, p.lo+len(p.values))
+	}
+	for i, d := range a.Delta {
+		p.values[i] += d
+	}
+	return Ack{}, nil
+}
+
+func (s *Server) handleSnapshot(a SnapshotArgs) (PullReply, error) {
+	return s.handlePull(PullArgs{Job: a.Job})
+}
+
+func (s *Server) handleRestore(a InitArgs) (Ack, error) {
+	return s.handleInit(a)
+}
+
+func (s *Server) handleDrop(a DropArgs) (Ack, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.parts, a.Job)
+	return Ack{}, nil
+}
+
+// Jobs reports the jobs with partitions on this server.
+func (s *Server) Jobs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.parts)
+}
+
+// Client talks to the full set of parameter servers hosting one job's
+// model, assembling pulls and scattering pushes across partitions.
+type Client struct {
+	clients []*rpc.Client
+	timeout time.Duration
+}
+
+// NewClient connects to every server address.
+func NewClient(addrs []string, timeout time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("ps: no server addresses")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	c := &Client{timeout: timeout}
+	for _, addr := range addrs {
+		cl, err := rpc.Dial(addr, timeout)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Partition computes server i's slice bounds for a model of size n over
+// k servers: even ranges with the remainder spread over the first few.
+func Partition(n, k, i int) (lo, hi int) {
+	base := n / k
+	extra := n % k
+	lo = i*base + minInt(i, extra)
+	hi = lo + base
+	if i < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+// Init distributes a full model across the servers.
+func (c *Client) Init(job string, model []float64) error {
+	k := len(c.clients)
+	for i, cl := range c.clients {
+		lo, hi := Partition(len(model), k, i)
+		_, err := rpc.Invoke[InitArgs, Ack](cl, MethodInit,
+			InitArgs{Job: job, Lo: lo, Values: model[lo:hi]}, c.timeout)
+		if err != nil {
+			return fmt.Errorf("ps: init on server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Pull fetches the full model, one partition per server, concurrently —
+// the PULL subtask.
+func (c *Client) Pull(job string, modelSize int) ([]float64, error) {
+	model := make([]float64, modelSize)
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			reply, err := rpc.Invoke[PullArgs, PullReply](cl, MethodPull, PullArgs{Job: job}, c.timeout)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if reply.Lo < 0 || reply.Lo+len(reply.Values) > modelSize {
+				errs[i] = fmt.Errorf("ps: partition [%d,%d) outside model of size %d",
+					reply.Lo, reply.Lo+len(reply.Values), modelSize)
+				return
+			}
+			copy(model[reply.Lo:], reply.Values)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ps: pull from server %d: %w", i, err)
+		}
+	}
+	return model, nil
+}
+
+// Push scatters an additive delta across the servers — the PUSH subtask.
+func (c *Client) Push(job string, delta []float64) error {
+	k := len(c.clients)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		lo, hi := Partition(len(delta), k, i)
+		wg.Add(1)
+		go func(i int, cl *rpc.Client, lo, hi int) {
+			defer wg.Done()
+			_, err := rpc.Invoke[PushArgs, Ack](cl, MethodPush,
+				PushArgs{Job: job, Lo: lo, Delta: delta[lo:hi]}, c.timeout)
+			errs[i] = err
+		}(i, cl, lo, hi)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ps: push to server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot checkpoints the full model (used when pausing a job).
+func (c *Client) Snapshot(job string, modelSize int) ([]float64, error) {
+	return c.Pull(job, modelSize)
+}
+
+// Drop removes the job's partitions from every server.
+func (c *Client) Drop(job string) error {
+	for i, cl := range c.clients {
+		if _, err := rpc.Invoke[DropArgs, Ack](cl, MethodDrop, DropArgs{Job: job}, c.timeout); err != nil {
+			return fmt.Errorf("ps: drop on server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close tears down the connections.
+func (c *Client) Close() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+)
+
+// Encode gob-encodes a value for use as a request or response body.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes body into out (a pointer).
+func Decode(body []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
+		return fmt.Errorf("rpc: decode %T: %w", out, err)
+	}
+	return nil
+}
+
+// Typed wraps a strongly-typed handler function as a raw Handler.
+func Typed[Arg, Reply any](fn func(Arg) (Reply, error)) Handler {
+	return func(raw []byte) ([]byte, error) {
+		var arg Arg
+		if err := Decode(raw, &arg); err != nil {
+			return nil, err
+		}
+		reply, err := fn(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(reply)
+	}
+}
+
+// Invoke performs a strongly-typed call on a client.
+func Invoke[Arg, Reply any](c *Client, method string, arg Arg, timeout time.Duration) (Reply, error) {
+	var reply Reply
+	raw, err := Encode(arg)
+	if err != nil {
+		return reply, err
+	}
+	body, err := c.Call(method, raw, timeout)
+	if err != nil {
+		return reply, err
+	}
+	if err := Decode(body, &reply); err != nil {
+		return reply, err
+	}
+	return reply, nil
+}

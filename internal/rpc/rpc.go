@@ -1,0 +1,324 @@
+// Package rpc is a minimal gob-over-TCP remote procedure call layer used
+// by the live Harmony runtime (master, workers and parameter servers).
+//
+// It provides what Apache REEF provided the paper's implementation:
+// typed request/response messaging with connection reuse, concurrent
+// in-flight calls, deadlines and graceful shutdown — built only on the
+// standard library.
+package rpc
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Errors returned by the client and server.
+var (
+	ErrClosed  = errors.New("rpc: connection closed")
+	ErrTimeout = errors.New("rpc: call timed out")
+)
+
+// Request is the wire envelope for one call.
+type Request struct {
+	// Seq matches responses to in-flight calls.
+	Seq uint64
+	// Method routes the call to a registered handler.
+	Method string
+	// Body is the gob-encoded argument. Concrete types must be
+	// registered with gob.Register by both sides.
+	Body []byte
+}
+
+// Response is the wire envelope for one reply.
+type Response struct {
+	Seq uint64
+	// Err is a non-empty string when the handler failed.
+	Err  string
+	Body []byte
+}
+
+// Handler processes the raw argument bytes of a method and returns reply
+// bytes. Encoding helpers are in codec.go.
+type Handler func(arg []byte) ([]byte, error)
+
+// Server accepts connections and dispatches calls to handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns an empty server; register handlers before Serve.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler for a method name. Registering after Serve
+// has started is safe; re-registering replaces the handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
+// serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewWriter(conn)
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	enc := gob.NewEncoder(br)
+	var wmu sync.Mutex // one writer at a time per connection
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Method]
+		s.mu.RUnlock()
+		s.wg.Add(1)
+		go func(req Request) {
+			defer s.wg.Done()
+			var resp Response
+			resp.Seq = req.Seq
+			if !ok {
+				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
+			} else {
+				body, err := safeCall(h, req.Body)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Body = body
+				}
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+			_ = br.Flush()
+		}(req)
+	}
+}
+
+// safeCall shields the connection loop from panicking handlers: a failed
+// handler fails one call, not the whole runtime (§VI, fault tolerance).
+func safeCall(h Handler, arg []byte) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(arg)
+}
+
+// Addr reports the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, closes every connection and waits for in-flight
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a connection to one Server supporting concurrent calls.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	bw      *bufio.Writer
+	seq     uint64
+	pending map[uint64]chan Response
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a server with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(bw),
+		bw:      bw,
+		pending: make(map[uint64]chan Response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if errors.Is(err, io.EOF) || c.closed {
+		err = ErrClosed
+	}
+	c.readErr = err
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		ch <- Response{Err: err.Error()}
+	}
+	close(c.done)
+}
+
+// Call sends a raw request and waits for the reply or the timeout
+// (zero means wait forever).
+func (c *Client) Call(method string, arg []byte, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan Response, 1)
+	c.pending[seq] = ch
+	err := c.enc.Encode(&Request{Seq: seq, Method: method, Body: arg})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: send %s: %w", method, err)
+	}
+	c.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return resp.Body, nil
+	case <-timer:
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s after %s", ErrTimeout, method, timeout)
+	}
+}
+
+// Close tears the connection down; outstanding calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done // wait for readLoop to drain pending calls
+	return err
+}

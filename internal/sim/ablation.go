@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sort"
+
+	"harmony/internal/core"
+)
+
+// allProfiled reports whether every job that has arrived (and not yet
+// finished or failed) has produced a usable profile.
+func (s *Simulator) allProfiled() bool {
+	for id, sj := range s.jobs {
+		switch sj.state {
+		case jobProfiling, jobRunning, jobPaused:
+			if _, ok := s.estimates[id]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// naivePlan stands in for Algorithm 1 when smart grouping is disabled
+// (the "subtasks only" ablation of §V-C): jobs are chunked into groups of
+// NaiveGroupSize in submission order with an even machine split — no
+// performance model, no complementary-resource matching.
+func (s *Simulator) naivePlan(jobs []core.JobInfo, machines int) core.Plan {
+	if len(jobs) == 0 || machines <= 0 {
+		return core.Plan{}
+	}
+	k := s.cfg.NaiveGroupSize
+	if k < 1 {
+		k = 2
+	}
+	nGroups := (len(jobs) + k - 1) / k
+	if nGroups > machines {
+		nGroups = machines
+	}
+	// Deterministic shuffle so that grouping is arbitrary rather than
+	// correlated with submission order.
+	shuffled := make([]core.JobInfo, len(jobs))
+	copy(shuffled, jobs)
+	s.rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	base := machines / nGroups
+	extra := machines % nGroups
+	var plan core.Plan
+	next := 0
+	for gi := 0; gi < nGroups; gi++ {
+		m := base
+		if gi < extra {
+			m++
+		}
+		count := len(shuffled) / nGroups
+		if gi < len(shuffled)%nGroups {
+			count++
+		}
+		plan.Groups = append(plan.Groups, core.Group{
+			Jobs:     shuffled[next : next+count],
+			Machines: m,
+		})
+		next += count
+	}
+	return plan
+}
+
+// naiveAddToSmallestGroup places a job into the plan group with the
+// fewest jobs — the model-free arrival rule used when smart grouping is
+// disabled.
+func naiveAddToSmallestGroup(plan core.Plan, job core.JobInfo) (core.Plan, bool) {
+	if len(plan.Groups) == 0 {
+		return plan, false
+	}
+	out := plan.Clone()
+	idxs := make([]int, len(out.Groups))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.SliceStable(idxs, func(a, b int) bool {
+		return len(out.Groups[idxs[a]].Jobs) < len(out.Groups[idxs[b]].Jobs)
+	})
+	gi := idxs[0]
+	out.Groups[gi].Jobs = append(out.Groups[gi].Jobs, job)
+	return out, true
+}
+
+// shrinkPlanNaive removes a finished job and back-fills waiting jobs into
+// the smallest groups, without consulting the performance model.
+func (s *Simulator) shrinkPlanNaive(finishedID string, waiting []core.JobInfo) core.Plan {
+	p := s.plan.Clone()
+	if gi, ok := p.FindJob(finishedID); ok {
+		jobs := p.Groups[gi].Jobs[:0]
+		for _, j := range p.Groups[gi].Jobs {
+			if j.ID != finishedID {
+				jobs = append(jobs, j)
+			}
+		}
+		p.Groups[gi].Jobs = jobs
+		if len(jobs) == 0 {
+			p.Groups = append(p.Groups[:gi], p.Groups[gi+1:]...)
+		}
+	}
+	for _, w := range waiting {
+		if _, already := p.FindJob(w.ID); already {
+			continue // placed by an earlier decision, still migrating
+		}
+		if next, ok := naiveAddToSmallestGroup(p, w); ok {
+			p = next
+		}
+	}
+	return p
+}

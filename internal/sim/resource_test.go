@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/simtime"
+)
+
+func TestExclusiveResourceSerializes(t *testing.T) {
+	eng := simtime.NewEngine()
+	var done []float64
+	r := newResource(eng, exclusivePolicy{}, nil)
+	r.submit(10, 1, func() { done = append(done, eng.Now().Seconds()) })
+	r.submit(5, 1, func() { done = append(done, eng.Now().Seconds()) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d tasks, want 2", len(done))
+	}
+	if math.Abs(done[0]-10) > 1e-6 || math.Abs(done[1]-15) > 1e-6 {
+		t.Errorf("completions at %v, want [10, 15] (FIFO, one at a time)", done)
+	}
+}
+
+func TestPrimarySecondaryOverlap(t *testing.T) {
+	const beta = 0.8
+	eng := simtime.NewEngine()
+	var done []float64
+	r := newResource(eng, primarySecondaryPolicy{busyFraction: beta}, nil)
+	r.submit(10, beta, func() { done = append(done, eng.Now().Seconds()) })
+	r.submit(10, beta, func() { done = append(done, eng.Now().Seconds()) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Primary finishes at 10 unaffected. Secondary progressed at
+	// (1-β)/β = 0.25 for 10s (2.5 done), then promotes to primary and
+	// needs 7.5 more: total 17.5.
+	if math.Abs(done[0]-10) > 1e-6 {
+		t.Errorf("primary finished at %v, want 10 (secondary must yield)", done[0])
+	}
+	if math.Abs(done[1]-17.5) > 1e-6 {
+		t.Errorf("secondary finished at %v, want 17.5", done[1])
+	}
+}
+
+func TestPrimarySecondaryBusySaturates(t *testing.T) {
+	const beta = 0.85
+	eng := simtime.NewEngine()
+	var busyIntegral float64
+	r := newResource(eng, primarySecondaryPolicy{busyFraction: beta},
+		func(rate float64, from, to simtime.Time) {
+			busyIntegral += rate * to.Sub(from).Seconds()
+		})
+	r.submit(10, beta, nil)
+	r.submit(10, beta, nil)
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// While both run, busy rate is β + (1-β) = 1.0: the secondary fills
+	// the primary's idle gaps exactly. After the primary finishes at 10,
+	// the promoted task has 10 - 10(1-β)/β left, running solo at busy β.
+	want := 10.0 + (10-10*(1-beta)/beta)*beta
+	if math.Abs(busyIntegral-want) > 1e-5 {
+		t.Errorf("busy integral = %v, want %v", busyIntegral, want)
+	}
+}
+
+func TestFairShareContention(t *testing.T) {
+	const p = 0.1
+	eng := simtime.NewEngine()
+	var done []float64
+	r := newResource(eng, fairSharePolicy{penalty: p}, nil)
+	r.submit(10, 1, func() { done = append(done, eng.Now().Seconds()) })
+	r.submit(10, 1, func() { done = append(done, eng.Now().Seconds()) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Both share: rate = 1/(2*1.1) each; both finish at 10*2.2 = 22.
+	if math.Abs(done[0]-22) > 1e-6 || math.Abs(done[1]-22) > 1e-6 {
+		t.Errorf("completions at %v, want both at 22 (fair share with penalty)", done)
+	}
+}
+
+func TestFairShareSoloRunsAtFullRate(t *testing.T) {
+	eng := simtime.NewEngine()
+	var at float64
+	r := newResource(eng, fairSharePolicy{penalty: 0.1}, nil)
+	r.submit(7, 1, func() { at = eng.Now().Seconds() })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-7) > 1e-6 {
+		t.Errorf("solo task finished at %v, want 7", at)
+	}
+}
+
+func TestResourceDoneCanResubmit(t *testing.T) {
+	eng := simtime.NewEngine()
+	var finish float64
+	r := newResource(eng, exclusivePolicy{}, nil)
+	r.submit(3, 1, func() {
+		r.submit(4, 1, func() { finish = eng.Now().Seconds() })
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(finish-7) > 1e-6 {
+		t.Errorf("chained task finished at %v, want 7", finish)
+	}
+	if !r.idle() {
+		t.Error("resource not idle after drain")
+	}
+}
+
+func TestResourceZeroDuration(t *testing.T) {
+	eng := simtime.NewEngine()
+	ran := false
+	r := newResource(eng, exclusivePolicy{}, nil)
+	r.submit(0, 1, func() { ran = true })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("zero-duration task never completed")
+	}
+}

@@ -1,0 +1,16 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+)
+
+// traceEnabled turns on verbose scheduling traces via HARMONY_SIM_DEBUG.
+var traceEnabled = os.Getenv("HARMONY_SIM_DEBUG") != ""
+
+func (s *Simulator) tracef(format string, args ...any) {
+	if !traceEnabled {
+		return
+	}
+	fmt.Printf("[%s] %s\n", s.eng.Now(), fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"harmony/internal/simtime"
+)
+
+func TestBatch(t *testing.T) {
+	arr := Batch(5)
+	if len(arr) != 5 {
+		t.Fatalf("Batch(5) returned %d arrivals", len(arr))
+	}
+	for i, a := range arr {
+		if a != 0 {
+			t.Errorf("arrival %d = %v, want 0", i, a)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	mean := 4 * simtime.Minute
+	arr := Poisson(2000, mean, 7)
+	if len(arr) != 2000 {
+		t.Fatalf("returned %d arrivals", len(arr))
+	}
+	got := MeanInterarrival(arr)
+	ratio := got.Seconds() / mean.Seconds()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("mean interarrival = %v, want within 10%% of %v", got, mean)
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i] < arr[j] }) {
+		t.Error("arrivals not monotone")
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := Poisson(50, simtime.Minute, 42)
+	b := Poisson(50, simtime.Minute, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Poisson(50, simtime.Minute, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical arrivals")
+	}
+}
+
+func TestPoissonZeroMeanIsBatch(t *testing.T) {
+	arr := Poisson(10, 0, 1)
+	for _, a := range arr {
+		if a != 0 {
+			t.Fatal("zero-mean Poisson should collapse to batch arrivals")
+		}
+	}
+}
+
+func TestBurstyProperties(t *testing.T) {
+	arr := Bursty(500, 60, 11)
+	if len(arr) != 500 {
+		t.Fatalf("returned %d arrivals", len(arr))
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i] < arr[j] }) {
+		t.Error("arrivals not monotone")
+	}
+	// Burstier than Poisson: coefficient of variation above 1.
+	pois := Poisson(500, simtime.Minute, 11)
+	bb, bp := Burstiness(arr), Burstiness(pois)
+	if bb <= bp {
+		t.Errorf("bursty CV %.2f <= poisson CV %.2f, want burstier", bb, bp)
+	}
+	// Contains at least one same-instant spike.
+	spikes := 0
+	for i := 1; i < len(arr); i++ {
+		if arr[i] == arr[i-1] {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Error("no submission spikes in bursty trace")
+	}
+}
+
+func TestBurstyEdgeCases(t *testing.T) {
+	if got := Bursty(0, 60, 1); got != nil {
+		t.Errorf("Bursty(0) = %v, want nil", got)
+	}
+	if got := Bursty(3, -5, 1); len(got) != 3 {
+		t.Errorf("Bursty with bad rate returned %d arrivals, want fallback to default", len(got))
+	}
+}
+
+func TestMeanInterarrivalEdge(t *testing.T) {
+	if got := MeanInterarrival(nil); got != 0 {
+		t.Errorf("MeanInterarrival(nil) = %v", got)
+	}
+	if got := MeanInterarrival([]simtime.Time{5}); got != 0 {
+		t.Errorf("MeanInterarrival(single) = %v", got)
+	}
+	arr := []simtime.Time{0, simtime.Time(simtime.Minute), simtime.Time(3 * simtime.Minute)}
+	if got := MeanInterarrival(arr); got != 90*simtime.Second {
+		t.Errorf("MeanInterarrival = %v, want 90s", got)
+	}
+}
+
+func TestBurstinessPoissonNearOne(t *testing.T) {
+	arr := Poisson(5000, simtime.Minute, 3)
+	cv := Burstiness(arr)
+	if math.Abs(cv-1) > 0.12 {
+		t.Errorf("Poisson CV = %.3f, want near 1.0", cv)
+	}
+	if Burstiness(nil) != 0 || Burstiness(arr[:2]) != 0 {
+		t.Error("Burstiness of degenerate input should be 0")
+	}
+	same := []simtime.Time{1, 1, 1, 1}
+	if Burstiness(same) != 0 {
+		t.Error("Burstiness of zero-gap arrivals should be 0")
+	}
+}

@@ -1,0 +1,477 @@
+// Package worker implements the live Harmony worker process: it hosts a
+// co-located parameter server, keeps its input shard in a spillable block
+// store, and executes jobs as PULL→COMP→PUSH subtask cycles through the
+// §IV-A runner queues, synchronizing each iteration with the master.
+package worker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"harmony/internal/memstore"
+	"harmony/internal/mlapp"
+	"harmony/internal/ps"
+	"harmony/internal/rpc"
+	"harmony/internal/subtask"
+)
+
+// RPC method names served by the worker.
+const (
+	MethodLoadJob  = "worker.loadJob"
+	MethodStartJob = "worker.startJob"
+	MethodDropJob  = "worker.dropJob"
+	MethodSetAlpha = "worker.setAlpha"
+	MethodStats    = "worker.stats"
+)
+
+// Master-side methods the worker calls.
+const (
+	MethodBarrier = "master.barrier"
+	MethodJobDone = "master.jobDone"
+)
+
+// LoadJobArgs prepares a job on this worker: generate (or re-load) the
+// input shard, connect to the group's parameter servers, and optionally
+// initialize the model partitions.
+type LoadJobArgs struct {
+	Job     string
+	Config  mlapp.Config
+	Servers []string
+	// ShardIndex / ShardCount select this worker's partition of the
+	// synthetic dataset; Seed keeps it reproducible across migrations.
+	ShardIndex int
+	ShardCount int
+	Seed       int64
+	// InitModel is set on exactly one worker per group to seed the
+	// parameter servers. Restore carries checkpointed parameters
+	// instead when a migrated job resumes (§IV-B4).
+	InitModel bool
+	Restore   []float64
+	// Alpha is the initial disk-block ratio for the shard store.
+	Alpha float64
+}
+
+// StartJobArgs begins (or resumes) iterating a loaded job.
+type StartJobArgs struct {
+	Job string
+	// FromIteration resumes counting; Iterations is the convergence
+	// bound.
+	FromIteration int
+	Iterations    int
+}
+
+// DropJobArgs stops and unloads a job.
+type DropJobArgs struct {
+	Job string
+}
+
+// SetAlphaArgs retunes the job's spill ratio.
+type SetAlphaArgs struct {
+	Job   string
+	Alpha float64
+}
+
+// StatsArgs requests executor statistics (gob needs a field).
+type StatsArgs struct {
+	Unused bool
+}
+
+// StatsReply summarizes the worker's executor state.
+type StatsReply struct {
+	CPUUtil float64
+	NetUtil float64
+	Jobs    int
+}
+
+// BarrierArgs is the per-iteration synchronization call to the master
+// (the SubTask Synchronizer of Fig. 7). The reply directs the worker.
+type BarrierArgs struct {
+	Job       string
+	Worker    string
+	Iteration int
+	// Measured subtask seconds for profiling (§IV-B1).
+	CompSeconds float64
+	NetSeconds  float64
+	// Loss lets the master track convergence.
+	Loss float64
+}
+
+// BarrierReply tells the worker how to continue.
+type BarrierReply struct {
+	Directive Directive
+}
+
+// Directive is the master's instruction at an iteration boundary.
+type Directive int
+
+// Directives.
+const (
+	Continue Directive = iota + 1
+	Pause
+	Stop
+)
+
+// JobDoneArgs reports that this worker finished all iterations.
+type JobDoneArgs struct {
+	Job    string
+	Worker string
+}
+
+// Ack is an empty reply.
+type Ack struct{}
+
+// jobState is one loaded job on the worker.
+type jobState struct {
+	cfg      mlapp.Config
+	algo     mlapp.Algorithm
+	client   *ps.Client
+	store    *memstore.Store
+	shard    *mlapp.Shard
+	rng      *rand.Rand
+	stopCh   chan struct{}
+	running  bool
+	lastIter int
+}
+
+// Worker is the live worker runtime. Create with New, then Close.
+type Worker struct {
+	name     string
+	spillDir string
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+
+	srv    *rpc.Server
+	psrv   *ps.Server
+	exec   *subtask.Executor
+	master *rpc.Client
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New starts a worker: its RPC server (with the co-located parameter
+// server) listens on addr ("127.0.0.1:0" for tests), and the worker
+// registers with the master.
+func New(name, addr, masterAddr, spillDir string) (*Worker, string, error) {
+	w := &Worker{
+		name:     name,
+		spillDir: spillDir,
+		jobs:     make(map[string]*jobState),
+		srv:      rpc.NewServer(),
+		psrv:     ps.NewServer(),
+		exec:     subtask.NewExecutor(),
+	}
+	w.psrv.Register(w.srv)
+	w.srv.Handle(MethodLoadJob, rpc.Typed(w.handleLoadJob))
+	w.srv.Handle(MethodStartJob, rpc.Typed(w.handleStartJob))
+	w.srv.Handle(MethodDropJob, rpc.Typed(w.handleDropJob))
+	w.srv.Handle(MethodSetAlpha, rpc.Typed(w.handleSetAlpha))
+	w.srv.Handle(MethodStats, rpc.Typed(w.handleStats))
+	bound, err := w.srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	master, err := rpc.Dial(masterAddr, 10*time.Second)
+	if err != nil {
+		w.srv.Close()
+		return nil, "", fmt.Errorf("worker %s: dial master: %w", name, err)
+	}
+	w.master = master
+	type registerArgs struct {
+		Name string
+		Addr string
+	}
+	if _, err := rpc.Invoke[registerArgs, Ack](master, "master.register",
+		registerArgs{Name: name, Addr: bound}, 10*time.Second); err != nil {
+		w.srv.Close()
+		master.Close()
+		return nil, "", fmt.Errorf("worker %s: register: %w", name, err)
+	}
+	return w, bound, nil
+}
+
+func (w *Worker) handleLoadJob(a LoadJobArgs) (Ack, error) {
+	algo, err := mlapp.New(a.Config)
+	if err != nil {
+		return Ack{}, err
+	}
+	shards, err := mlapp.GenerateShards(a.Config, maxInt(a.ShardCount, 1), a.Seed)
+	if err != nil {
+		return Ack{}, err
+	}
+	idx := a.ShardIndex
+	if idx < 0 || idx >= len(shards) {
+		return Ack{}, fmt.Errorf("worker %s: shard index %d of %d", w.name, idx, len(shards))
+	}
+	client, err := ps.NewClient(a.Servers, 30*time.Second)
+	if err != nil {
+		return Ack{}, err
+	}
+	store, err := memstore.Open(fmt.Sprintf("%s/%s-%s", w.spillDir, w.name, a.Job))
+	if err != nil {
+		client.Close()
+		return Ack{}, err
+	}
+	// Input data lives in the block store so the spill/reload mechanism
+	// governs its residency (§IV-C): one block per bundle of examples.
+	shard := shards[idx]
+	const rowsPerBlock = 32
+	for b := 0; b*rowsPerBlock < len(shard.Examples); b++ {
+		lo := b * rowsPerBlock
+		hi := minInt(lo+rowsPerBlock, len(shard.Examples))
+		payload, err := rpc.Encode(shard.Examples[lo:hi])
+		if err != nil {
+			client.Close()
+			store.Close()
+			return Ack{}, err
+		}
+		if err := store.Put(&memstore.Block{ID: b, Payload: payload}); err != nil {
+			client.Close()
+			store.Close()
+			return Ack{}, err
+		}
+	}
+	if err := store.SetAlpha(a.Alpha); err != nil {
+		client.Close()
+		store.Close()
+		return Ack{}, err
+	}
+
+	rng := rand.New(rand.NewSource(a.Seed ^ int64(idx+1)))
+	st := &jobState{
+		cfg: a.Config, algo: algo, client: client, store: store,
+		shard: shard, rng: rng, stopCh: make(chan struct{}),
+	}
+	if a.InitModel {
+		model := a.Restore
+		if model == nil {
+			model = algo.InitModel(rng)
+		}
+		if err := client.Init(a.Job, model); err != nil {
+			client.Close()
+			store.Close()
+			return Ack{}, err
+		}
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		client.Close()
+		store.Close()
+		return Ack{}, rpc.ErrClosed
+	}
+	if old, ok := w.jobs[a.Job]; ok {
+		old.client.Close()
+		old.store.Close()
+	}
+	w.jobs[a.Job] = st
+	return Ack{}, nil
+}
+
+func (w *Worker) handleStartJob(a StartJobArgs) (Ack, error) {
+	w.mu.Lock()
+	st, ok := w.jobs[a.Job]
+	if !ok {
+		w.mu.Unlock()
+		return Ack{}, fmt.Errorf("worker %s: job %q not loaded", w.name, a.Job)
+	}
+	if st.running {
+		w.mu.Unlock()
+		return Ack{}, fmt.Errorf("worker %s: job %q already running", w.name, a.Job)
+	}
+	st.running = true
+	st.stopCh = make(chan struct{})
+	w.mu.Unlock()
+
+	w.wg.Add(1)
+	go w.drive(a.Job, st, a.FromIteration, a.Iterations)
+	return Ack{}, nil
+}
+
+// drive runs the job's PULL→COMP→PUSH cycle through the subtask executor
+// until convergence, a pause directive, or shutdown.
+func (w *Worker) drive(job string, st *jobState, from, iterations int) {
+	defer w.wg.Done()
+	defer func() {
+		w.mu.Lock()
+		st.running = false
+		w.mu.Unlock()
+	}()
+	modelSize := st.cfg.ModelSize()
+	for iter := from; iter < iterations; iter++ {
+		select {
+		case <-st.stopCh:
+			return
+		default:
+		}
+		var model []float64
+		var pullErr error
+		var compSecs, netSecs float64
+		var loss float64
+
+		// PULL subtask.
+		stepDone := make(chan struct{})
+		start := time.Now()
+		if err := w.exec.Submit(subtask.Pull, job, func() {
+			model, pullErr = st.client.Pull(job, modelSize)
+		}, func() { close(stepDone) }); err != nil {
+			return
+		}
+		<-stepDone
+		netSecs += time.Since(start).Seconds()
+		if pullErr != nil {
+			return // servers gone: the master is tearing the job down
+		}
+
+		// COMP subtask: reload-gated data access plus real computation.
+		var delta []float64
+		stepDone = make(chan struct{})
+		start = time.Now()
+		if err := w.exec.Submit(subtask.Comp, job, func() {
+			shard := w.materializeShard(st)
+			delta = st.algo.Compute(model, shard, st.rng)
+			loss = st.algo.Loss(model, shard)
+		}, func() { close(stepDone) }); err != nil {
+			return
+		}
+		<-stepDone
+		compSecs = time.Since(start).Seconds()
+
+		// PUSH subtask.
+		var pushErr error
+		stepDone = make(chan struct{})
+		start = time.Now()
+		if err := w.exec.Submit(subtask.Push, job, func() {
+			pushErr = st.client.Push(job, delta)
+		}, func() { close(stepDone) }); err != nil {
+			return
+		}
+		<-stepDone
+		netSecs += time.Since(start).Seconds()
+		if pushErr != nil {
+			return
+		}
+
+		st.lastIter = iter
+
+		// Iteration barrier with the master (Fig. 7's synchronizer).
+		reply, err := rpc.Invoke[BarrierArgs, BarrierReply](w.master, MethodBarrier, BarrierArgs{
+			Job: job, Worker: w.name, Iteration: iter,
+			CompSeconds: compSecs, NetSeconds: netSecs, Loss: loss,
+		}, time.Minute)
+		if err != nil {
+			return
+		}
+		switch reply.Directive {
+		case Pause, Stop:
+			return
+		}
+	}
+	_, _ = rpc.Invoke[JobDoneArgs, Ack](w.master, MethodJobDone,
+		JobDoneArgs{Job: job, Worker: w.name}, time.Minute)
+}
+
+// materializeShard assembles the shard from the block store, paying
+// reload latency for spilled blocks (the §IV-C stall when the background
+// reloader has not caught up).
+func (w *Worker) materializeShard(st *jobState) *mlapp.Shard {
+	out := &mlapp.Shard{Kind: st.shard.Kind, RowOffset: st.shard.RowOffset}
+	for b := 0; b < st.store.Blocks(); b++ {
+		// Prefetch the next block while decoding this one.
+		st.store.Prefetch(b + 1)
+		blk, err := st.store.Get(b)
+		if err != nil {
+			break
+		}
+		var examples []mlapp.Example
+		if err := rpc.Decode(blk.Payload, &examples); err != nil {
+			break
+		}
+		out.Examples = append(out.Examples, examples...)
+	}
+	// Re-apply the spill target: reloaded blocks beyond the α budget go
+	// back to disk.
+	_ = st.store.SetAlpha(st.store.Alpha())
+	return out
+}
+
+func (w *Worker) handleDropJob(a DropJobArgs) (Ack, error) {
+	w.mu.Lock()
+	st, ok := w.jobs[a.Job]
+	if ok {
+		delete(w.jobs, a.Job)
+	}
+	w.mu.Unlock()
+	if !ok {
+		return Ack{}, nil
+	}
+	close(st.stopCh)
+	st.client.Close()
+	st.store.Close()
+	return Ack{}, nil
+}
+
+func (w *Worker) handleSetAlpha(a SetAlphaArgs) (Ack, error) {
+	w.mu.Lock()
+	st, ok := w.jobs[a.Job]
+	w.mu.Unlock()
+	if !ok {
+		return Ack{}, fmt.Errorf("worker %s: job %q not loaded", w.name, a.Job)
+	}
+	return Ack{}, st.store.SetAlpha(a.Alpha)
+}
+
+func (w *Worker) handleStats(StatsArgs) (StatsReply, error) {
+	cpu, net := w.exec.Utilization()
+	w.mu.Lock()
+	jobs := len(w.jobs)
+	w.mu.Unlock()
+	return StatsReply{CPUUtil: cpu, NetUtil: net, Jobs: jobs}, nil
+}
+
+// Name reports the worker's registered name.
+func (w *Worker) Name() string { return w.name }
+
+// Close stops all jobs and tears the worker down.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	jobs := make([]*jobState, 0, len(w.jobs))
+	for _, st := range w.jobs {
+		jobs = append(jobs, st)
+	}
+	w.jobs = make(map[string]*jobState)
+	w.mu.Unlock()
+	for _, st := range jobs {
+		close(st.stopCh)
+	}
+	w.master.Close() // unblocks barrier waits
+	w.wg.Wait()
+	for _, st := range jobs {
+		st.client.Close()
+		st.store.Close()
+	}
+	w.exec.Close()
+	w.srv.Close()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

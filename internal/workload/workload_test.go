@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppString(t *testing.T) {
+	tests := []struct {
+		app  App
+		want string
+	}{
+		{NMF, "NMF"},
+		{LDA, "LDA"},
+		{MLR, "MLR"},
+		{Lasso, "Lasso"},
+		{App(99), "App(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.app.String(); got != tt.want {
+			t.Errorf("App(%d).String() = %q, want %q", int(tt.app), got, tt.want)
+		}
+	}
+}
+
+func TestBaseWorkloadSize(t *testing.T) {
+	base := Base()
+	if len(base) != 80 {
+		t.Fatalf("Base() returned %d jobs, want 80 (4 apps x 2 datasets x 10 hypers)", len(base))
+	}
+	seen := make(map[string]bool, len(base))
+	apps := make(map[App]int)
+	for _, s := range base {
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid spec: %v", err)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate job ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		apps[s.App]++
+	}
+	for _, app := range []App{NMF, LDA, MLR, Lasso} {
+		if apps[app] != 20 {
+			t.Errorf("app %s has %d jobs, want 20", app, apps[app])
+		}
+	}
+}
+
+func TestBaseWorkloadDeterministic(t *testing.T) {
+	a, b := Base(), Base()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Base() not deterministic at index %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFig9IterationTimeSpread checks that iteration times at the reference
+// DoP cover the 1–20 minute range of Fig. 9a.
+func TestFig9IterationTimeSpread(t *testing.T) {
+	minItr, maxItr := math.Inf(1), math.Inf(-1)
+	for _, s := range Base() {
+		itr := s.IterSecondsAt(ReferenceDoP) / 60 // minutes
+		minItr = math.Min(minItr, itr)
+		maxItr = math.Max(maxItr, itr)
+	}
+	if minItr > 3 {
+		t.Errorf("fastest iteration %.1f min, want some under 3 min (Fig. 9a)", minItr)
+	}
+	if maxItr < 10 || maxItr > 25 {
+		t.Errorf("slowest iteration %.1f min, want in [10, 25] min (Fig. 9a tops near 20)", maxItr)
+	}
+}
+
+// TestFig9CompRatioSpread checks that computation ratios cover a wide
+// range, as in Fig. 9b.
+func TestFig9CompRatioSpread(t *testing.T) {
+	var low, high int
+	for _, s := range Base() {
+		r := s.CompRatioAt(ReferenceDoP)
+		if r < 0 || r > 1 {
+			t.Fatalf("%s comp ratio %.2f outside [0,1]", s.ID, r)
+		}
+		if r < 0.45 {
+			low++
+		}
+		if r > 0.65 {
+			high++
+		}
+	}
+	if low < 10 {
+		t.Errorf("only %d jobs with comp ratio < 0.45, want >= 10 (communication-heavy tail)", low)
+	}
+	if high < 10 {
+		t.Errorf("only %d jobs with comp ratio > 0.65, want >= 10 (computation-heavy tail)", high)
+	}
+}
+
+func TestEq2Scaling(t *testing.T) {
+	s := Fig3Job()
+	// Tcpu must scale exactly as 1/m (Eq. 2).
+	t4, t8, t32 := s.TcpuAt(4), s.TcpuAt(8), s.TcpuAt(32)
+	if math.Abs(t4/t8-2) > 1e-9 {
+		t.Errorf("Tcpu(4)/Tcpu(8) = %.4f, want 2", t4/t8)
+	}
+	if math.Abs(t8/t32-4) > 1e-9 {
+		t.Errorf("Tcpu(8)/Tcpu(32) = %.4f, want 4", t8/t32)
+	}
+	// Tnet must stay roughly constant (within 15% across 4..32 machines).
+	n4, n32 := s.TnetAt(4), s.TnetAt(32)
+	if ratio := n32 / n4; ratio < 1 || ratio > 1.15 {
+		t.Errorf("Tnet(32)/Tnet(4) = %.3f, want mild growth within [1, 1.15]", ratio)
+	}
+}
+
+func TestPullPushSplit(t *testing.T) {
+	for _, s := range Base()[:8] {
+		pull, push, net := s.TpullAt(16), s.TpushAt(16), s.TnetAt(16)
+		if math.Abs(pull+push-net) > 1e-9 {
+			t.Errorf("%s: pull %.2f + push %.2f != net %.2f", s.ID, pull, push, net)
+		}
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	s := Spec{
+		ID: "m", App: MLR, Data: Dataset{Name: "d", InputGB: 16, ModelGB: 8},
+		CompMachineSeconds: 1, NetSeconds: 1, Iterations: 1, WorkGB: 2,
+	}
+	full := s.MemoryGB(16, 0)
+	want := JVMHeapFactor*(16.0/16+8.0/16) + 2
+	if math.Abs(full-want) > 1e-9 {
+		t.Errorf("MemoryGB(16, 0) = %.3f, want %.3f", full, want)
+	}
+	spilled := s.MemoryGB(16, 1)
+	wantSpilled := JVMHeapFactor*(8.0/16) + 2
+	if math.Abs(spilled-wantSpilled) > 1e-9 {
+		t.Errorf("MemoryGB(16, 1) = %.3f, want %.3f", spilled, wantSpilled)
+	}
+	// Alpha outside [0,1] clamps rather than corrupting the footprint.
+	if got := s.MemoryGB(16, -1); got != full {
+		t.Errorf("MemoryGB(16, -1) = %.3f, want clamp to %.3f", got, full)
+	}
+	if got := s.MemoryGB(16, 2); got != spilled {
+		t.Errorf("MemoryGB(16, 2) = %.3f, want clamp to %.3f", got, spilled)
+	}
+}
+
+// TestMemoryMonotonicInAlpha checks by property that spilling more input
+// never increases the heap footprint.
+func TestMemoryMonotonicInAlpha(t *testing.T) {
+	s := Base()[42]
+	f := func(a, b uint8, m uint8) bool {
+		al, bl := float64(a)/255, float64(b)/255
+		if al > bl {
+			al, bl = bl, al
+		}
+		dop := int(m%32) + 1
+		return s.MemoryGB(dop, bl) <= s.MemoryGB(dop, al)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig4MemoryNarrative(t *testing.T) {
+	nmf, lasso, mlr := Fig4Jobs()
+	cap := 32.0
+	two := nmf.MemoryGB(16, 0) + lasso.MemoryGB(16, 0)
+	three := two + mlr.MemoryGB(16, 0)
+	if two >= cap {
+		t.Errorf("two-job co-location uses %.1f GB, want < %.0f (paper: 2 jobs fit)", two, cap)
+	}
+	if three <= cap {
+		t.Errorf("three-job co-location uses %.1f GB, want > %.0f (paper: OOM)", three, cap)
+	}
+}
+
+func TestCompCommSubsets(t *testing.T) {
+	comp, comm := CompIntensive(), CommIntensive()
+	if len(comp) != 60 || len(comm) != 60 {
+		t.Fatalf("subset sizes %d/%d, want 60/60", len(comp), len(comm))
+	}
+	avg := func(specs []Spec) float64 {
+		var sum float64
+		for _, s := range specs {
+			sum += s.CompRatioAt(ReferenceDoP)
+		}
+		return sum / float64(len(specs))
+	}
+	base := avg(Base())
+	if a := avg(comp); a <= base {
+		t.Errorf("comp-intensive avg ratio %.3f <= base %.3f", a, base)
+	}
+	if a := avg(comm); a >= base {
+		t.Errorf("comm-intensive avg ratio %.3f >= base %.3f", a, base)
+	}
+}
+
+func TestFig2Jobs(t *testing.T) {
+	jobs := Fig2Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("Fig2Jobs() returned %d jobs, want 4", len(jobs))
+	}
+	// MLR-16K is more computation-heavy than MLR-8K (larger model work per
+	// iteration grows compute faster than traffic in our calibration).
+	if jobs[0].CompRatioAt(16) <= jobs[1].CompRatioAt(16) {
+		t.Errorf("MLR-16K ratio %.2f <= MLR-8K ratio %.2f, want higher",
+			jobs[0].CompRatioAt(16), jobs[1].CompRatioAt(16))
+	}
+}
+
+func TestSmall(t *testing.T) {
+	s := Small(6)
+	if len(s) != 6 {
+		t.Fatalf("Small(6) returned %d jobs", len(s))
+	}
+	// Interleaved: first jobs come from distinct profiles.
+	apps := make(map[string]bool)
+	for _, sp := range s {
+		apps[sp.App.String()+sp.Data.Name] = true
+	}
+	if len(apps) != 6 {
+		t.Errorf("Small(6) drew from %d profiles, want 6 distinct", len(apps))
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	good := Base()[0]
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"missing id", func(s *Spec) { s.ID = "" }},
+		{"zero comp", func(s *Spec) { s.CompMachineSeconds = 0 }},
+		{"zero net", func(s *Spec) { s.NetSeconds = 0 }},
+		{"bad pull frac", func(s *Spec) { s.PullFrac = 1.5 }},
+		{"zero iterations", func(s *Spec) { s.Iterations = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := good
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Base()[0]
+	str := s.String()
+	if !strings.Contains(str, "NMF") || !strings.Contains(str, s.ID) {
+		t.Errorf("String() = %q, want app and ID present", str)
+	}
+}

@@ -1,0 +1,158 @@
+package harmony
+
+import (
+	"time"
+
+	"harmony/internal/master"
+	"harmony/internal/worker"
+)
+
+// Master coordinates live workers: it submits Parameter-Server training
+// jobs, synchronizes their distributed iterations, profiles subtask
+// times, and migrates jobs between worker groups (§IV-B4).
+type Master struct {
+	m *master.Master
+}
+
+// StartMaster launches the master's RPC endpoint; use "127.0.0.1:0" to
+// bind an ephemeral port.
+func StartMaster(addr string, opts ScheduleOptions) (*Master, error) {
+	m, err := master.New(addr, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Master{m: m}, nil
+}
+
+// Addr is the address workers dial.
+func (m *Master) Addr() string { return m.m.Addr() }
+
+// WaitForWorkers blocks until n workers have registered.
+func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
+	return m.m.WaitForWorkers(n, timeout)
+}
+
+// Workers lists the registered worker names.
+func (m *Master) Workers() []string { return m.m.Workers() }
+
+// Training is a live job submission.
+type Training struct {
+	// Name uniquely identifies the job.
+	Name string
+	// Config sizes the synthetic learning problem.
+	Config TrainingConfig
+	// Iterations until the job completes.
+	Iterations int
+	// Alpha is the initial disk-spill ratio for input blocks (§IV-C).
+	Alpha float64
+	// Seed keeps data generation reproducible.
+	Seed int64
+	// Workers restricts the job to a worker subset; nil uses all.
+	Workers []string
+}
+
+// Submit loads and starts a training job across its worker group.
+func (m *Master) Submit(t Training) error {
+	cfg, err := t.Config.internal()
+	if err != nil {
+		return err
+	}
+	return m.m.Submit(master.JobSpec{
+		Name:       t.Name,
+		Config:     cfg,
+		Iterations: t.Iterations,
+		Alpha:      t.Alpha,
+		Seed:       t.Seed,
+	}, t.Workers)
+}
+
+// Wait blocks until the named job converges.
+func (m *Master) Wait(name string, timeout time.Duration) error {
+	return m.m.WaitJob(name, timeout)
+}
+
+// Progress reports a job's last completed iteration and current loss.
+func (m *Master) Progress(name string) (iteration int, loss float64, finished bool, err error) {
+	status, iter, l, err := m.m.Status(name)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return iter, l, status == master.StatusFinished, nil
+}
+
+// ProfiledJob reports the runtime-profiled metrics for a job, in the
+// scheduler's units.
+func (m *Master) ProfiledJob(name string) (Job, bool) {
+	met, ok := m.m.Metrics(name)
+	if !ok {
+		return Job{}, false
+	}
+	return Job{ID: name, CompSeconds: met.CompMachineSeconds, NetSeconds: met.NetSeconds}, ok
+}
+
+// Pause stops a job at its next iteration boundary and returns the model
+// checkpoint.
+func (m *Master) Pause(name string, timeout time.Duration) ([]float64, error) {
+	return m.m.Pause(name, timeout)
+}
+
+// Resume migrates a paused job onto a worker group, restoring the model
+// from the checkpoint.
+func (m *Master) Resume(name string, group []string, checkpoint []float64) error {
+	return m.m.Resume(name, group, checkpoint)
+}
+
+// PlanGroups runs Algorithm 1 over the profiled jobs and returns the
+// job→workers placement it recommends.
+func (m *Master) PlanGroups() (map[string][]string, error) {
+	return m.m.PlanGroups()
+}
+
+// Utilization averages the workers' executor busy fractions.
+func (m *Master) Utilization() (cpu, net float64, err error) {
+	return m.m.WorkerStats()
+}
+
+// Close shuts the master down, releasing any blocked workers.
+func (m *Master) Close() { m.m.Close() }
+
+// Worker is a live worker process handle.
+type Worker struct {
+	w *worker.Worker
+}
+
+// StartWorker launches a worker that serves a co-located parameter
+// server on addr and registers with the master. spillDir holds spilled
+// input blocks.
+func StartWorker(name, addr, masterAddr, spillDir string) (*Worker, error) {
+	w, _, err := worker.New(name, addr, masterAddr, spillDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{w: w}, nil
+}
+
+// Name reports the worker's registered name.
+func (w *Worker) Name() string { return w.w.Name() }
+
+// Close stops the worker's jobs and servers.
+func (w *Worker) Close() { w.w.Close() }
+
+// Checkpoint returns the job's most recent background model snapshot and
+// the iteration it covers. The master snapshots models periodically for
+// fault tolerance (§VI); nil means no checkpoint has landed yet.
+func (m *Master) Checkpoint(name string) ([]float64, int, error) {
+	return m.m.Checkpoint(name)
+}
+
+// RemoveWorker unregisters a failed worker and returns the names of jobs
+// whose groups included it; recover each with RecoverJob.
+func (m *Master) RemoveWorker(name string) ([]string, error) {
+	return m.m.RemoveWorker(name)
+}
+
+// RecoverJob restarts an affected job on the given worker group (nil =
+// all surviving workers) from its latest background checkpoint.
+func (m *Master) RecoverJob(name string, group []string) error {
+	return m.m.RecoverJob(name, group)
+}
