@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-report
+
+## check: full local gate — vet, build, race-enabled tests, bench smoke run
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the race detector guards the scheduler search and experiment pool
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
+bench-smoke:
+	$(GO) test ./internal/core/ -run XXX -bench BenchmarkScheduleLarge -benchmem -benchtime 3x
+	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkRunHarmonyBase -benchmem -benchtime 3x
+	$(GO) test . -run XXX -bench BenchmarkFig10Parallel -benchtime 1x
+
+## bench-report: machine-readable speedup report (BENCH_schedule.json)
+bench-report:
+	$(GO) run ./cmd/harmony-bench -bench

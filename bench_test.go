@@ -10,6 +10,8 @@ package harmony
 // DESIGN.md §4 maps benchmark names to paper references.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"harmony/internal/exp"
@@ -86,6 +88,28 @@ func BenchmarkFig10MainComparison(b *testing.B) {
 	}
 	b.ReportMetric(jct, "jct-speedup-x")
 	b.ReportMetric(mk, "makespan-speedup-x")
+}
+
+// BenchmarkFig10Parallel compares the Fig. 10 sweep (isolated + harmony +
+// 5 naive seeds, 7 independent simulations) at Concurrency 1 against the
+// GOMAXPROCS worker pool. On a multi-core runner the pooled sub-benchmark
+// should approach a 7-way fan-out's speedup; results are identical either
+// way.
+func BenchmarkFig10Parallel(b *testing.B) {
+	old := exp.Concurrency()
+	defer exp.SetConcurrency(old)
+	run := func(name string, workers int) {
+		b.Run(name, func(b *testing.B) {
+			exp.SetConcurrency(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Fig10(exp.DefaultSeed, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("sequential", 1)
+	run(fmt.Sprintf("pooled-%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0))
 }
 
 func BenchmarkFig11UtilizationTimeline(b *testing.B) {

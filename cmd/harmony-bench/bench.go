@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/exp"
+)
+
+// benchResult is one measured configuration in BENCH_schedule.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	Speedup     float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+// benchReport is the machine-readable perf trajectory record future PRs
+// diff against.
+type benchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Timestamp  string        `json:"timestamp"`
+	Results    []benchResult `json:"results"`
+}
+
+// runBench measures the Algorithm 1 search (1K jobs, 1K machines) and the
+// Fig. 10 multi-seed sweep, sequentially and at full parallelism, then
+// writes the report to path and prints a speedup summary.
+func runBench(path string) error {
+	procs := runtime.GOMAXPROCS(0)
+	report := benchReport{
+		GoMaxProcs: procs,
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	jobs := make([]core.JobInfo, 1000)
+	for i := range jobs {
+		jobs[i] = core.JobInfo{
+			ID:   fmt.Sprintf("j%04d", i),
+			Comp: 500 + rng.Float64()*10000,
+			Net:  30 + rng.Float64()*400,
+		}
+	}
+	const machines = 1000
+
+	schedBench := func(par int) benchResult {
+		opts := core.Options{Parallelism: par}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Schedule(jobs, machines, opts)
+			}
+		})
+		return benchResult{
+			Name:        "schedule_1k_jobs",
+			Parallelism: par,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	fmt.Printf("benchmarking core.Schedule (1000 jobs, %d machines)...\n", machines)
+	seq := schedBench(1)
+	par := schedBench(procs)
+	par.Speedup = float64(seq.NsPerOp) / float64(par.NsPerOp)
+	report.Results = append(report.Results, seq, par)
+
+	sweepBench := func(workers int) benchResult {
+		exp.SetConcurrency(workers)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Fig10(exp.DefaultSeed, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return benchResult{
+			Name:        "fig10_sweep_7_sims",
+			Parallelism: workers,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	fmt.Println("benchmarking exp.Fig10 sweep (iso + harmony + 5 naive seeds)...")
+	sweepSeq := sweepBench(1)
+	sweepPar := sweepBench(procs)
+	sweepPar.Speedup = float64(sweepSeq.NsPerOp) / float64(sweepPar.NsPerOp)
+	report.Results = append(report.Results, sweepSeq, sweepPar)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nGOMAXPROCS=%d (%s)\n", procs, runtime.Version())
+	for _, r := range report.Results {
+		speedup := ""
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("  %.2fx vs sequential", r.Speedup)
+		}
+		fmt.Printf("  %-20s parallelism=%-3d %12d ns/op %10d B/op %8d allocs/op%s\n",
+			r.Name, r.Parallelism, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, speedup)
+	}
+	fmt.Printf("report written to %s\n", path)
+	if procs == 1 {
+		fmt.Println("note: GOMAXPROCS=1 — parallel and sequential take the same single-threaded path; run on a multi-core machine to see speedup")
+	}
+	return nil
+}

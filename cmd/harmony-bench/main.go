@@ -3,6 +3,8 @@
 //
 //	harmony-bench -run all
 //	harmony-bench -run fig10 -seed 3
+//	harmony-bench -parallel 1 -run fig10   # single-threaded baseline
+//	harmony-bench -bench                   # speedup report + BENCH_schedule.json
 //	harmony-bench -list
 package main
 
@@ -91,8 +93,16 @@ func run(args []string) error {
 	runID := fs.String("run", "all", "experiment id to run, or 'all'")
 	seed := fs.Int64("seed", exp.DefaultSeed, "random seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	parallelism := fs.Int("parallel", 0,
+		"worker count for sweeps and the scheduler search (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
+	bench := fs.Bool("bench", false, "measure scheduler and sweep speedups, write BENCH_schedule.json, and exit")
+	benchOut := fs.String("bench-out", "BENCH_schedule.json", "output path for -bench results")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	exp.SetConcurrency(*parallelism)
+	if *bench {
+		return runBench(*benchOut)
 	}
 	exps := experiments()
 	if *list {

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestScheduleParallelMatchesSequential is the determinism contract of the
+// concurrent search: any Parallelism setting must produce the exact plan
+// the single-threaded path produces.
+func TestScheduleParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(120)
+		machines := 1 + rng.Intn(200)
+		jobs := randomJobs(rng, n)
+		opts := Options{Parallelism: 1}
+		if trial%3 == 0 {
+			opts.MemoryCapGB = 10 + rng.Float64()*20
+			for i := range jobs {
+				jobs[i].InputGB = rng.Float64() * 8
+				jobs[i].ModelGB = rng.Float64() * 2
+				jobs[i].WorkGB = rng.Float64()
+			}
+		}
+		if trial%4 == 0 {
+			opts.MaxJobsPerGroup = 1 + rng.Intn(5)
+		}
+		want := Schedule(jobs, machines, opts).String()
+		for _, par := range []int{2, 4, 8} {
+			opts.Parallelism = par
+			got := Schedule(jobs, machines, opts).String()
+			if got != want {
+				t.Fatalf("trial %d (n=%d machines=%d): Parallelism=%d diverged from sequential\nseq: %s\npar: %s",
+					trial, n, machines, par, want, got)
+			}
+		}
+	}
+}
+
+// TestBestGroupCountTernaryMatchesLinear checks the ternary search used
+// for maxG > 64 against an exhaustive scan. Plateaus in the cost curve can
+// make the two pick different-but-equally-good counts, so the property
+// compared is the achieved cost, not the index.
+func TestBestGroupCountTernaryMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	costAt := func(jobs []JobInfo, machines, nG int, opts Options) float64 {
+		if opts.MaxJobsPerGroup > 0 && (len(jobs)+nG-1)/nG > opts.MaxJobsPerGroup {
+			return math.Inf(1)
+		}
+		m := machines / nG
+		var c float64
+		for _, j := range jobs {
+			c += math.Abs(j.TcpuAt(m) - j.Net)
+		}
+		return c
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 65 + rng.Intn(400) // force the ternary branch (maxG > 64)
+		machines := n + rng.Intn(4*n)
+		jobs := randomJobs(rng, n)
+		var opts Options
+		if trial%5 == 0 {
+			opts.MaxJobsPerGroup = 2 + rng.Intn(6)
+		}
+		got := bestGroupCount(jobs, machines, opts)
+		maxG := n
+		if machines < maxG {
+			maxG = machines
+		}
+		bestCost := math.Inf(1)
+		for nG := 1; nG <= maxG; nG++ {
+			if c := costAt(jobs, machines, nG, opts); c < bestCost {
+				bestCost = c
+			}
+		}
+		gotCost := costAt(jobs, machines, got, opts)
+		if gotCost > bestCost*(1+1e-9)+1e-9 {
+			t.Fatalf("trial %d (n=%d machines=%d): ternary picked nG=%d cost=%g, exhaustive min=%g",
+				trial, n, machines, got, gotCost, bestCost)
+		}
+	}
+}
+
+// TestAllocateMachinesStaleGainsTerminate is a regression test for the
+// lazy max-heap: when every queued gain is stale (all groups network- or
+// job-bound, so extra machines never help), the re-evaluation loop must
+// fall through to the round-robin spread rather than spin.
+func TestAllocateMachinesStaleGainsTerminate(t *testing.T) {
+	// Pure network-bound jobs: Comp = 0, so IterSeconds never shrinks with
+	// more machines and every marginal gain is exactly zero.
+	groups := []Group{
+		{Jobs: []JobInfo{job("a", 0, 50)}},
+		{Jobs: []JobInfo{job("b", 0, 80)}},
+		{Jobs: []JobInfo{job("c", 0, 20)}},
+	}
+	const machines = 17
+	done := make(chan struct{})
+	go func() {
+		allocateMachines(groups, machines)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("allocateMachines did not terminate with all-stale gains")
+	}
+	total := 0
+	for i, g := range groups {
+		if g.Machines < 1 {
+			t.Errorf("group %d got %d machines, want >= 1", i, g.Machines)
+		}
+		total += g.Machines
+	}
+	if total != machines {
+		t.Errorf("allocated %d machines, want all %d", total, machines)
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+
+	"harmony/internal/parallel"
 )
 
 // Options tune the scheduler. The zero value selects the paper's defaults.
@@ -23,6 +25,13 @@ type Options struct {
 	// DisableSwapTuning skips the swap-based fine-tuning step of §IV-B3,
 	// for the design ablation.
 	DisableSwapTuning bool
+	// Parallelism bounds the worker pool evaluating Algorithm 1's
+	// candidate prefixes and widenForMemory's group-count retries. Zero
+	// selects runtime.GOMAXPROCS(0); 1 runs the exact single-threaded
+	// path with no goroutines. Every candidate is a pure function of its
+	// inputs and the reduction walks candidates in deterministic prefix
+	// order, so plans are bit-identical at every setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -32,6 +41,7 @@ func (o Options) withDefaults() Options {
 	if o.MinImprovement <= 0 {
 		o.MinImprovement = 0.05
 	}
+	o.Parallelism = parallel.Workers(o.Parallelism)
 	return o
 }
 
@@ -66,42 +76,107 @@ func (o Options) feasible(p Plan) bool {
 // The returned plan places a prefix of jobs; the rest remain waiting.
 // An empty plan is returned when no job can be placed (for example when
 // there are no jobs or no machines).
+//
+// With Options.Parallelism > 1 the candidate prefixes are evaluated
+// speculatively on a bounded worker pool; the reduction applies the same
+// stop rule in prefix order, so the result is identical to the sequential
+// search.
 func Schedule(jobs []JobInfo, machines int, opts Options) Plan {
 	opts = opts.withDefaults()
 	if len(jobs) == 0 || machines <= 0 {
 		return Plan{}
 	}
+	if opts.Parallelism > 1 {
+		return scheduleParallel(jobs, machines, opts)
+	}
 
 	var best Plan
 	bestScore := -1.0
 	for nj := 1; nj <= len(jobs); nj = nextPrefix(nj) {
-		toGroup := jobs[:nj]
-		nG := bestGroupCount(toGroup, machines, opts)
-		groups := assignJobs(toGroup, nG, machines)
-		if !opts.DisableSwapTuning {
-			fineTune(groups)
+		cand := evalPrefix(jobs, nj, machines, opts)
+		if cand.stop {
+			break
 		}
-		allocateMachines(groups, machines)
-		cand := Plan{Groups: groups}
-		if !opts.feasible(cand) {
-			// Larger prefixes only add memory pressure at the same
-			// group count; try one more group count before giving up
-			// on this prefix by splitting wider.
-			if wide := widenForMemory(toGroup, machines, opts); wide != nil {
-				cand = Plan{Groups: wide}
-			} else {
-				break
-			}
-		}
-		score := opts.Score(cand)
-		if score > bestScore {
-			bestScore = score
-			best = cand
+		if cand.score > bestScore {
+			bestScore = cand.score
+			best = cand.plan
 			continue
 		}
 		break // L12-13: no more improvement with more jobs
 	}
 	return best
+}
+
+// scheduleParallel runs the prefix search on a worker pool. Prefixes are
+// evaluated in batches (bounding the speculation past the stop point);
+// the sequential reduction over each batch preserves Algorithm 1's exact
+// stop rule: first non-improving or memory-infeasible prefix ends the
+// search.
+func scheduleParallel(jobs []JobInfo, machines int, opts Options) Plan {
+	var prefixes []int
+	for nj := 1; nj <= len(jobs); nj = nextPrefix(nj) {
+		prefixes = append(prefixes, nj)
+	}
+	var best Plan
+	bestScore := -1.0
+	batch := opts.Parallelism * 2
+	cands := make([]prefixCandidate, batch)
+	for start := 0; start < len(prefixes); start += batch {
+		end := start + batch
+		if end > len(prefixes) {
+			end = len(prefixes)
+		}
+		window := cands[:end-start]
+		parallel.Run(len(window), opts.Parallelism, func(i int) {
+			window[i] = evalPrefix(jobs, prefixes[start+i], machines, opts)
+		})
+		for _, cand := range window {
+			if cand.stop {
+				return best
+			}
+			if cand.score > bestScore {
+				bestScore = cand.score
+				best = cand.plan
+				continue
+			}
+			return best
+		}
+	}
+	return best
+}
+
+// prefixCandidate is one evaluated prefix of Algorithm 1's job-count loop.
+type prefixCandidate struct {
+	plan  Plan
+	score float64
+	// stop marks a prefix that is memory-infeasible even after widening;
+	// the search ends there, since larger prefixes only add memory
+	// pressure.
+	stop bool
+}
+
+// evalPrefix builds and scores the candidate plan for one prefix length.
+// It is a pure function of its arguments, which is what lets the parallel
+// search evaluate prefixes speculatively without changing the result.
+func evalPrefix(jobs []JobInfo, nj, machines int, opts Options) prefixCandidate {
+	toGroup := jobs[:nj]
+	nG := bestGroupCount(toGroup, machines, opts)
+	groups := assignJobs(toGroup, nG, machines)
+	if !opts.DisableSwapTuning {
+		fineTune(groups)
+	}
+	allocateMachines(groups, machines)
+	cand := Plan{Groups: groups}
+	if !opts.feasible(cand) {
+		// Larger prefixes only add memory pressure at the same group
+		// count; try wider splits before giving up on this prefix.
+		wide := widenForMemory(toGroup, machines, opts)
+		if wide == nil {
+			return prefixCandidate{stop: true}
+		}
+		cand = Plan{Groups: wide}
+	}
+	return prefixCandidate{plan: cand, score: opts.Score(cand)}
 }
 
 // nextPrefix advances Algorithm 1's job-count loop. Small prefixes step
@@ -171,6 +246,12 @@ func bestGroupCount(jobs []JobInfo, machines int, opts Options) int {
 // (preventing job-bound groups), then fill groups one by one, choosing at
 // each step the remaining job that best balances the group's CPU and
 // network use.
+//
+// The model terms T_cpu and T_itr at the group DoP are memoized up front
+// (the sort and every window scan reuse them), and removal from the
+// remaining set shifts only the scanned window — at most 32 elements —
+// instead of the whole tail, so one assignment pass is O(n log n + n·w)
+// rather than O(n²).
 func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 	if nG < 1 {
 		nG = 1
@@ -179,21 +260,29 @@ func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 	if m < 1 {
 		m = 1
 	}
-	sorted := make([]JobInfo, len(jobs))
-	copy(sorted, jobs)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].IterAt(m) > sorted[j].IterAt(m)
+	n := len(jobs)
+	tcpu := make([]float64, n)
+	iter := make([]float64, n)
+	rem := make([]int, n) // indices into jobs, sorted; rem[head:] remain
+	for i, j := range jobs {
+		tcpu[i] = j.TcpuAt(m)
+		iter[i] = j.IterAt(m)
+		rem[i] = i
+	}
+	sort.SliceStable(rem, func(a, b int) bool {
+		return iter[rem[a]] > iter[rem[b]]
 	})
 
 	groups := make([]Group, nG)
 	for i := range groups {
 		groups[i].Machines = m // provisional; allocateMachines finalizes
 	}
-	remaining := sorted
+	head := 0
 	for gi := range groups {
 		// Even split: earlier groups absorb the remainder.
-		size := len(remaining) / (nG - gi)
-		if len(remaining)%(nG-gi) != 0 {
+		left := n - head
+		size := left / (nG - gi)
+		if left%(nG-gi) != 0 {
 			size++
 		}
 		for k := 0; k < size; k++ {
@@ -206,23 +295,29 @@ func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 				// job-bound case) while the choice within that window
 				// balances resource use.
 				window := 1
-				head := remaining[0].IterAt(m)
-				for window < len(remaining) && window < 32 &&
-					remaining[window].IterAt(m)*1.5 >= head {
+				top := iter[rem[head]]
+				for window < n-head && window < 32 &&
+					iter[rem[head+window]]*1.5 >= top {
 					window++
 				}
+				// The group is unchanged while scanning candidates, so
+				// its imbalance is computed once, not per candidate.
+				imb := groups[gi].Imbalance()
 				bestImb := math.Inf(1)
 				for c := 0; c < window; c++ {
-					j := remaining[c]
-					imb := math.Abs(groups[gi].Imbalance() + j.TcpuAt(m) - j.Net)
-					if imb < bestImb {
-						bestImb = imb
+					ji := rem[head+c]
+					v := math.Abs(imb + tcpu[ji] - jobs[ji].Net)
+					if v < bestImb {
+						bestImb = v
 						pick = c
 					}
 				}
 			}
-			groups[gi].Jobs = append(groups[gi].Jobs, remaining[pick])
-			remaining = append(remaining[:pick], remaining[pick+1:]...)
+			groups[gi].Jobs = append(groups[gi].Jobs, jobs[rem[head+pick]])
+			// Order-preserving removal: shift the skipped window prefix
+			// right by one and advance the head.
+			copy(rem[head+1:head+pick+1], rem[head:head+pick])
+			head++
 		}
 	}
 	return groups
@@ -232,6 +327,9 @@ func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 // group, find the group with the most complementary resource use, and swap
 // the job pair that minimizes the combined imbalance. It stops when no
 // swap helps (with an iteration cap as a safety net).
+//
+// Group imbalances are cached across rounds; a swap invalidates exactly
+// the two groups it touched.
 func fineTune(groups []Group) {
 	if len(groups) < 2 {
 		return
@@ -240,25 +338,28 @@ func fineTune(groups []Group) {
 	if maxRounds > 256 {
 		maxRounds = 256
 	}
+	imb := make([]float64, len(groups))
+	for i := range groups {
+		imb[i] = groups[i].Imbalance()
+	}
 	for round := 0; round < maxRounds; round++ {
 		// Most imbalanced group.
 		src := 0
-		for i := range groups {
-			if math.Abs(groups[i].Imbalance()) > math.Abs(groups[src].Imbalance()) {
+		for i := range imb {
+			if math.Abs(imb[i]) > math.Abs(imb[src]) {
 				src = i
 			}
 		}
 		// Most complementary partner: largest imbalance of opposite sign.
 		dst, found := 0, false
-		srcImb := groups[src].Imbalance()
+		srcImb := imb[src]
 		var bestOpp float64
-		for i := range groups {
+		for i := range imb {
 			if i == src {
 				continue
 			}
-			imb := groups[i].Imbalance()
-			if imb*srcImb < 0 && math.Abs(imb) > bestOpp {
-				bestOpp = math.Abs(imb)
+			if imb[i]*srcImb < 0 && math.Abs(imb[i]) > bestOpp {
+				bestOpp = math.Abs(imb[i])
 				dst = i
 				found = true
 			}
@@ -269,25 +370,38 @@ func fineTune(groups []Group) {
 		if !trySwap(&groups[src], &groups[dst]) {
 			return
 		}
+		imb[src] = groups[src].Imbalance()
+		imb[dst] = groups[dst].Imbalance()
 	}
 }
 
 // trySwap finds the job pair whose exchange minimizes the two groups'
 // combined imbalance; it applies the swap and reports true only when it
-// strictly improves.
+// strictly improves. Each job's imbalance contribution at both groups'
+// DoPs is computed once up front, leaving only additions inside the
+// pair loop.
 func trySwap(a, b *Group) bool {
-	current := math.Abs(a.Imbalance()) + math.Abs(b.Imbalance())
-	bestI, bestJ, bestCost := -1, -1, current
+	imbA, imbB := a.Imbalance(), b.Imbalance()
+	current := math.Abs(imbA) + math.Abs(imbB)
+	da := make([]float64, len(a.Jobs))    // ja's contribution at a's DoP
+	daInB := make([]float64, len(a.Jobs)) // ja's contribution at b's DoP
 	for i, ja := range a.Jobs {
-		for j, jb := range b.Jobs {
-			da := ja.TcpuAt(a.Machines) - ja.Net
-			db := jb.TcpuAt(b.Machines) - jb.Net
+		da[i] = ja.TcpuAt(a.Machines) - ja.Net
+		daInB[i] = ja.TcpuAt(b.Machines) - ja.Net
+	}
+	db := make([]float64, len(b.Jobs))
+	dbInA := make([]float64, len(b.Jobs))
+	for j, jb := range b.Jobs {
+		db[j] = jb.TcpuAt(b.Machines) - jb.Net
+		dbInA[j] = jb.TcpuAt(a.Machines) - jb.Net
+	}
+	bestI, bestJ, bestCost := -1, -1, current
+	for i := range a.Jobs {
+		for j := range b.Jobs {
 			// Swapping moves ja's contribution out of a and jb's in,
 			// evaluated at each group's own DoP.
-			dbInA := jb.TcpuAt(a.Machines) - jb.Net
-			daInB := ja.TcpuAt(b.Machines) - ja.Net
-			newA := a.Imbalance() - da + dbInA
-			newB := b.Imbalance() - db + daInB
+			newA := imbA - da[i] + dbInA[j]
+			newB := imbB - db[j] + daInB[i]
 			cost := math.Abs(newA) + math.Abs(newB)
 			if cost < bestCost-1e-12 {
 				bestCost = cost
@@ -377,21 +491,53 @@ func allocateMachines(groups []Group, machines int) {
 
 // widenForMemory retries the grouping with more, smaller groups until the
 // memory constraint is satisfied; it returns nil when even one job per
-// group does not fit.
+// group does not fit. With Options.Parallelism > 1, batches of group
+// counts are tried concurrently and the lowest feasible count wins — the
+// same count the sequential scan would return first.
 func widenForMemory(jobs []JobInfo, machines int, opts Options) []Group {
 	maxG := len(jobs)
 	if machines < maxG {
 		maxG = machines
 	}
-	for nG := bestGroupCount(jobs, machines, opts) + 1; nG <= maxG; nG++ {
-		groups := assignJobs(jobs, nG, machines)
-		if !opts.DisableSwapTuning {
-			fineTune(groups)
+	startG := bestGroupCount(jobs, machines, opts) + 1
+	if opts.Parallelism <= 1 {
+		for nG := startG; nG <= maxG; nG++ {
+			if groups := widenAttempt(jobs, nG, machines, opts); groups != nil {
+				return groups
+			}
 		}
-		allocateMachines(groups, machines)
-		if opts.feasible(Plan{Groups: groups}) {
-			return groups
+		return nil
+	}
+	batch := opts.Parallelism * 2
+	attempts := make([][]Group, batch)
+	for lo := startG; lo <= maxG; lo += batch {
+		count := maxG - lo + 1
+		if count > batch {
+			count = batch
 		}
+		window := attempts[:count]
+		parallel.Run(count, opts.Parallelism, func(i int) {
+			window[i] = widenAttempt(jobs, lo+i, machines, opts)
+		})
+		for _, groups := range window {
+			if groups != nil {
+				return groups
+			}
+		}
+	}
+	return nil
+}
+
+// widenAttempt builds the grouping at one candidate group count and
+// reports it if memory-feasible.
+func widenAttempt(jobs []JobInfo, nG, machines int, opts Options) []Group {
+	groups := assignJobs(jobs, nG, machines)
+	if !opts.DisableSwapTuning {
+		fineTune(groups)
+	}
+	allocateMachines(groups, machines)
+	if opts.feasible(Plan{Groups: groups}) {
+		return groups
 	}
 	return nil
 }

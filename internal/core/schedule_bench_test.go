@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// benchJobs mirrors the synthetic workload internal/exp/scale.go uses for
+// the §V-F scalability experiment.
+func benchJobs(n int) []JobInfo {
+	rng := rand.New(rand.NewSource(42))
+	jobs := make([]JobInfo, n)
+	for i := range jobs {
+		jobs[i] = JobInfo{
+			ID:   fmt.Sprintf("j%04d", i),
+			Comp: 500 + rng.Float64()*10000,
+			Net:  30 + rng.Float64()*400,
+		}
+	}
+	return jobs
+}
+
+// BenchmarkScheduleLarge measures the Algorithm 1 search over 1K jobs on
+// 1K machines, sequentially and at full parallelism. On a multi-core
+// runner the parallel variant should scale with the core count; on one
+// core both take the identical single-threaded path.
+func BenchmarkScheduleLarge(b *testing.B) {
+	jobs := benchJobs(1000)
+	const machines = 1000
+	b.Run("sequential", func(b *testing.B) {
+		benchSchedule(b, jobs, machines, 1)
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchSchedule(b, jobs, machines, runtime.GOMAXPROCS(0))
+	})
+}
+
+func benchSchedule(b *testing.B, jobs []JobInfo, machines, par int) {
+	opts := Options{Parallelism: par}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Schedule(jobs, machines, opts)
+	}
+}

@@ -51,12 +51,15 @@ func Ablation(seed int64) (*AblationResult, error) {
 	isoMk := iso.Summary.Makespan.Seconds()
 	var fullGain float64
 	results := make([]*sim.Result, len(cases))
-	for i, c := range cases {
-		res, err := runMode(sim.ModeHarmony, jobs, seed, c.mutate)
+	if err := runPool(len(cases), func(i int) error {
+		res, err := runMode(sim.ModeHarmony, jobs, seed, cases[i].mutate)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", c.name, err)
+			return fmt.Errorf("ablation %s: %w", cases[i].name, err)
 		}
 		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	fullGain = isoMk - results[len(results)-1].Summary.Makespan.Seconds()
 	for i, c := range cases {
@@ -121,18 +124,23 @@ func DesignAblation(seed int64) (*DesignAblationResult, error) {
 		{"no swap fine-tuning", func(c *sim.Config) { c.SchedOpts.DisableSwapTuning = true }},
 		{"no regroup threshold", func(c *sim.Config) { c.SchedOpts.MinImprovement = 1e-9 }},
 	}
-	out := &DesignAblationResult{}
-	for _, c := range cases {
+	out := &DesignAblationResult{Rows: make([]DesignAblationRow, len(cases))}
+	err = runPool(len(cases), func(i int) error {
+		c := cases[i]
 		res, err := runMode(sim.ModeHarmony, jobs, seed, c.mutate)
 		if err != nil {
-			return nil, fmt.Errorf("design ablation %s: %w", c.name, err)
+			return fmt.Errorf("design ablation %s: %w", c.name, err)
 		}
-		out.Rows = append(out.Rows, DesignAblationRow{
+		out.Rows[i] = DesignAblationRow{
 			Variant:         c.name,
 			MakespanSpeedup: iso.Summary.Makespan.Seconds() / res.Summary.Makespan.Seconds(),
 			CPUUtil:         res.Summary.CPUUtil,
 			NetUtil:         res.Summary.NetUtil,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -27,19 +27,28 @@ type Fig13aResult struct {
 // Fig13a sweeps injected profiling error from 0 to 20%.
 func Fig13a(seed int64) (*Fig13aResult, error) {
 	jobs := sim.Jobs(workload.Base(), nil)
-	var base *sim.Result
-	out := &Fig13aResult{}
-	for _, e := range []float64{0, 0.05, 0.075, 0.10, 0.15, 0.20} {
-		e := e
+	levels := []float64{0, 0.05, 0.075, 0.10, 0.15, 0.20}
+	// Every error level is an independent run; normalization against the
+	// zero-error base happens after the sweep, in level order.
+	results := make([]*sim.Result, len(levels))
+	err := runPool(len(levels), func(i int) error {
+		e := levels[i]
 		res, err := runMode(sim.ModeHarmony, jobs, seed, func(c *sim.Config) {
 			c.MetricErrorFrac = e
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig13a err=%.0f%%: %w", e*100, err)
+			return fmt.Errorf("fig13a err=%.0f%%: %w", e*100, err)
 		}
-		if base == nil {
-			base = res
-		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	out := &Fig13aResult{}
+	for i, e := range levels {
+		res := results[i]
 		out.Points = append(out.Points, Fig13aPoint{
 			ErrorFrac:       e,
 			JCTSpeedup:      base.Summary.MeanJCT.Seconds() / res.Summary.MeanJCT.Seconds(),

@@ -42,30 +42,42 @@ type Fig10Result struct {
 	Naive []ModeOutcome
 }
 
-// Fig10 runs the main comparison on the full base workload.
+// Fig10 runs the main comparison on the full base workload. The isolated
+// and Harmony runs plus every naive grouping seed are independent
+// simulations, so they fan out across the experiment pool; seed-indexed
+// result slots keep the reported rows in a fixed order.
 func Fig10(seed int64, naiveSeeds int) (*Fig10Result, error) {
 	jobs := sim.Jobs(workload.Base(), nil)
-	iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
-	if err != nil {
-		return nil, fmt.Errorf("fig10 isolated: %w", err)
-	}
-	har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
-	if err != nil {
-		return nil, fmt.Errorf("fig10 harmony: %w", err)
-	}
-	out := &Fig10Result{
-		Isolated: outcomeOf(sim.ModeIsolated, iso),
-		Harmony:  outcomeOf(sim.ModeHarmony, har),
-	}
 	if naiveSeeds < 1 {
 		naiveSeeds = 1
 	}
-	for s := int64(0); s < int64(naiveSeeds); s++ {
-		nv, err := runMode(sim.ModeNaive, jobs, seed+s, nil)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 naive seed %d: %w", seed+s, err)
+	out := &Fig10Result{Naive: make([]ModeOutcome, naiveSeeds)}
+	err := runPool(2+naiveSeeds, func(i int) error {
+		switch i {
+		case 0:
+			iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
+			if err != nil {
+				return fmt.Errorf("fig10 isolated: %w", err)
+			}
+			out.Isolated = outcomeOf(sim.ModeIsolated, iso)
+		case 1:
+			har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
+			if err != nil {
+				return fmt.Errorf("fig10 harmony: %w", err)
+			}
+			out.Harmony = outcomeOf(sim.ModeHarmony, har)
+		default:
+			s := seed + int64(i-2)
+			nv, err := runMode(sim.ModeNaive, jobs, s, nil)
+			if err != nil {
+				return fmt.Errorf("fig10 naive seed %d: %w", s, err)
+			}
+			out.Naive[i-2] = outcomeOf(sim.ModeNaive, nv)
 		}
-		out.Naive = append(out.Naive, outcomeOf(sim.ModeNaive, nv))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -145,11 +157,16 @@ type Fig11Result struct {
 // Fig11 collects per-minute utilization series from the main runs.
 func Fig11(seed int64) (*Fig11Result, error) {
 	jobs := sim.Jobs(workload.Base(), nil)
-	iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
-	if err != nil {
-		return nil, err
-	}
-	har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
+	var iso, har *sim.Result
+	err := runPool(2, func(i int) error {
+		var err error
+		if i == 0 {
+			iso, err = runMode(sim.ModeIsolated, jobs, seed, nil)
+		} else {
+			har, err = runMode(sim.ModeHarmony, jobs, seed, nil)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -234,12 +251,22 @@ func Fig12(seed int64) (*Fig12Result, error) {
 		DoPs:         make(map[string][]float64),
 		JobsPerGroup: make(map[string][]float64),
 	}
-	for _, mix := range mixes {
-		res, err := runMode(sim.ModeHarmony, sim.Jobs(mix.specs, nil), seed, nil)
+	// Maps are not safe for concurrent writes: collect per-mix results in
+	// index slots, then merge in mix order.
+	results := make([]*sim.Result, len(mixes))
+	err := runPool(len(mixes), func(i int) error {
+		res, err := runMode(sim.ModeHarmony, sim.Jobs(mixes[i].specs, nil), seed, nil)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s: %w", mix.name, err)
+			return fmt.Errorf("fig12 %s: %w", mixes[i].name, err)
 		}
-		for _, d := range res.Decisions {
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mix := range mixes {
+		for _, d := range results[i].Decisions {
 			out.DoPs[mix.name] = append(out.DoPs[mix.name], float64(d.Machines))
 			out.JobsPerGroup[mix.name] = append(out.JobsPerGroup[mix.name], float64(d.Jobs))
 		}

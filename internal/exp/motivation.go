@@ -24,17 +24,22 @@ type Fig2Result struct {
 
 // Fig2 runs each of the four workloads alone on 16 dedicated machines.
 func Fig2(seed int64) (*Fig2Result, error) {
-	out := &Fig2Result{}
-	for _, spec := range workload.Fig2Jobs() {
-		res, err := singleJobRun(spec, 16, seed)
+	specs := workload.Fig2Jobs()
+	out := &Fig2Result{Rows: make([]Fig2Row, len(specs))}
+	err := runPool(len(specs), func(i int) error {
+		res, err := singleJobRun(specs[i], 16, seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", spec.ID, err)
+			return fmt.Errorf("fig2 %s: %w", specs[i].ID, err)
 		}
-		out.Rows = append(out.Rows, Fig2Row{
-			Workload: spec.ID,
+		out.Rows[i] = Fig2Row{
+			Workload: specs[i].ID,
 			CPUUtil:  res.Summary.CPUUtil,
 			NetUtil:  res.Summary.NetUtil,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -88,17 +93,19 @@ func Fig3(seed int64) (*Fig3Result, error) {
 	spec := workload.Fig3Job()
 	spec.Data.InputGB = 16
 	spec.Data.ModelGB = 6
-	out := &Fig3Result{}
-	for _, m := range []int{4, 8, 16, 32} {
+	counts := []int{4, 8, 16, 32}
+	out := &Fig3Result{Rows: make([]Fig3Row, len(counts))}
+	err := runPool(len(counts), func(i int) error {
+		m := counts[i]
 		res, err := singleJobRun(spec, m, seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig3 m=%d: %w", m, err)
+			return fmt.Errorf("fig3 m=%d: %w", m, err)
 		}
 		if len(res.Failed) > 0 {
-			return nil, fmt.Errorf("fig3 m=%d: job failed: %v", m, res.Failed)
+			return fmt.Errorf("fig3 m=%d: job failed: %v", m, res.Failed)
 		}
 		iter := res.Summary.Makespan.Seconds() / 12 // 12 iterations
-		out.Rows = append(out.Rows, Fig3Row{
+		out.Rows[i] = Fig3Row{
 			Machines:    m,
 			CPUUtil:     res.Summary.CPUUtil,
 			NetUtil:     res.Summary.NetUtil,
@@ -106,7 +113,11 @@ func Fig3(seed int64) (*Fig3Result, error) {
 			PullSeconds: spec.TpullAt(m),
 			CompSeconds: spec.TcpuAt(m),
 			PushSeconds: spec.TpushAt(m),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -159,8 +170,9 @@ func Fig4(seed int64) (*Fig4Result, error) {
 		{"NMF+MLR", []workload.Spec{nmf, mlr}},
 		{"NMF+MLR+Lasso", []workload.Spec{nmf, mlr, lasso}},
 	}
-	out := &Fig4Result{}
-	for _, c := range cases {
+	out := &Fig4Result{Rows: make([]Fig4Row, len(cases))}
+	err := runPool(len(cases), func(i int) error {
+		c := cases[i]
 		res, err := sim.Run(sim.Config{
 			Machines:          16,
 			Mode:              sim.ModeNaive,
@@ -170,14 +182,18 @@ func Fig4(seed int64) (*Fig4Result, error) {
 			IsolatedMaxDoP:    16,
 		}, sim.Jobs(c.specs, nil))
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s: %w", c.name, err)
+			return fmt.Errorf("fig4 %s: %w", c.name, err)
 		}
-		out.Rows = append(out.Rows, Fig4Row{
+		out.Rows[i] = Fig4Row{
 			Setup:   c.name,
 			CPUUtil: res.Summary.CPUUtil,
 			NetUtil: res.Summary.NetUtil,
 			OOM:     len(res.Failed) == len(c.specs),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestConcurrencyDeterminism runs representative sweeps at Concurrency 1
+// and 4 and requires identical printed figures: pooled runs write to
+// index-ordered slots and each simulation owns its state, so the fan-out
+// must never change a result.
+func TestConcurrencyDeterminism(t *testing.T) {
+	old := Concurrency()
+	defer SetConcurrency(old)
+
+	render := func() []string {
+		fig10, err := Fig10(DefaultSeed, 3)
+		if err != nil {
+			t.Fatalf("Fig10: %v", err)
+		}
+		fig3, err := Fig3(DefaultSeed)
+		if err != nil {
+			t.Fatalf("Fig3: %v", err)
+		}
+		sens, err := SensRatio(DefaultSeed)
+		if err != nil {
+			t.Fatalf("SensRatio: %v", err)
+		}
+		return []string{fig10.String(), fig3.String(), sens.String()}
+	}
+
+	SetConcurrency(1)
+	sequential := render()
+	SetConcurrency(4)
+	pooled := render()
+
+	for i := range sequential {
+		if sequential[i] != pooled[i] {
+			t.Errorf("figure %d differs between Concurrency=1 and 4:\nseq:\n%s\npool:\n%s",
+				i, sequential[i], pooled[i])
+		}
+	}
+}

@@ -39,17 +39,34 @@ func SensRatio(seed int64) (*SensRatioResult, error) {
 		{"comp-intensive", workload.CompIntensive()},
 		{"comm-intensive", workload.CommIntensive()},
 	}
-	out := &SensRatioResult{}
-	for _, mix := range mixes {
+	// Flatten the (mix, mode) grid into 2·len(mixes) pool units; both runs
+	// of a mix write into its slot pair.
+	isoRes := make([]*sim.Result, len(mixes))
+	harRes := make([]*sim.Result, len(mixes))
+	err := runPool(2*len(mixes), func(i int) error {
+		mix := mixes[i/2]
 		jobs := sim.Jobs(mix.specs, nil)
-		iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
-		if err != nil {
-			return nil, fmt.Errorf("sens-ratio %s isolated: %w", mix.name, err)
+		if i%2 == 0 {
+			res, err := runMode(sim.ModeIsolated, jobs, seed, nil)
+			if err != nil {
+				return fmt.Errorf("sens-ratio %s isolated: %w", mix.name, err)
+			}
+			isoRes[i/2] = res
+			return nil
 		}
-		har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
+		res, err := runMode(sim.ModeHarmony, jobs, seed, nil)
 		if err != nil {
-			return nil, fmt.Errorf("sens-ratio %s harmony: %w", mix.name, err)
+			return fmt.Errorf("sens-ratio %s harmony: %w", mix.name, err)
 		}
+		harRes[i/2] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SensRatioResult{}
+	for i, mix := range mixes {
+		iso, har := isoRes[i], harRes[i]
 		var dops []float64
 		for _, d := range har.Decisions {
 			dops = append(dops, float64(d.Machines))
@@ -99,31 +116,38 @@ type SensArrivalResult struct {
 // trace-like process.
 func SensArrival(seed int64) (*SensArrivalResult, error) {
 	specs := workload.Base()
-	out := &SensArrivalResult{}
-	addCase := func(name string, arrivals []simtime.Time) error {
-		jobs := sim.Jobs(specs, arrivals)
+	type arrivalCase struct {
+		name     string
+		arrivals []simtime.Time
+	}
+	var cases []arrivalCase
+	for _, mean := range []int{0, 2, 4, 8} {
+		cases = append(cases, arrivalCase{
+			fmt.Sprintf("poisson mean %dm", mean),
+			trace.Poisson(len(specs), simtime.Duration(mean)*simtime.Minute, seed),
+		})
+	}
+	cases = append(cases, arrivalCase{"bursty trace", trace.Bursty(len(specs), 40, seed)})
+	out := &SensArrivalResult{Rows: make([]SensArrivalRow, len(cases))}
+	err := runPool(len(cases), func(i int) error {
+		c := cases[i]
+		jobs := sim.Jobs(specs, c.arrivals)
 		iso, err := runMode(sim.ModeIsolated, jobs, seed, nil)
 		if err != nil {
-			return fmt.Errorf("sens-arrival %s isolated: %w", name, err)
+			return fmt.Errorf("sens-arrival %s isolated: %w", c.name, err)
 		}
 		har, err := runMode(sim.ModeHarmony, jobs, seed, nil)
 		if err != nil {
-			return fmt.Errorf("sens-arrival %s harmony: %w", name, err)
+			return fmt.Errorf("sens-arrival %s harmony: %w", c.name, err)
 		}
-		out.Rows = append(out.Rows, SensArrivalRow{
-			Process:         name,
+		out.Rows[i] = SensArrivalRow{
+			Process:         c.name,
 			JCTSpeedup:      iso.Summary.MeanJCT.Seconds() / har.Summary.MeanJCT.Seconds(),
 			MakespanSpeedup: iso.Summary.Makespan.Seconds() / har.Summary.Makespan.Seconds(),
-		})
-		return nil
-	}
-	for _, mean := range []int{0, 2, 4, 8} {
-		arrivals := trace.Poisson(len(specs), simtime.Duration(mean)*simtime.Minute, seed)
-		if err := addCase(fmt.Sprintf("poisson mean %dm", mean), arrivals); err != nil {
-			return nil, err
 		}
-	}
-	if err := addCase("bursty trace", trace.Bursty(len(specs), 40, seed)); err != nil {
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -85,9 +85,23 @@ func (u *UtilRecorder) AddBusyWeighted(r Resource, from, to simtime.Time, weight
 	firstBucket := int(int64(from) / int64(u.interval))
 	lastBucket := int(int64(to-1) / int64(u.interval))
 	if need := lastBucket + 1; need > len(u.busy[idx]) {
-		grown := make([]float64, need)
-		copy(grown, u.busy[idx])
-		u.busy[idx] = grown
+		cur := u.busy[idx]
+		if need <= cap(cur) {
+			// Slots past len were zeroed at allocation and never written.
+			cur = cur[:need]
+		} else {
+			// Grow geometrically: busy time extends one bucket at a time
+			// over a whole run, and exact-size reallocation would copy the
+			// entire series each minute.
+			newCap := 2 * cap(cur)
+			if newCap < need {
+				newCap = need
+			}
+			grown := make([]float64, need, newCap)
+			copy(grown, cur)
+			cur = grown
+		}
+		u.busy[idx] = cur
 	}
 	for b := firstBucket; b <= lastBucket; b++ {
 		bStart := simtime.Time(int64(b) * int64(u.interval))

@@ -1,0 +1,52 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		counts := make([]int32, n)
+		Run(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunSequentialStaysOnCaller(t *testing.T) {
+	// workers <= 1 must not spawn goroutines: indices arrive in order.
+	var got []int
+	Run(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: got %v", got)
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	called := false
+	Run(0, 4, func(int) { called = true })
+	Run(-1, 4, func(int) { called = true })
+	if called {
+		t.Error("Run with n <= 0 invoked fn")
+	}
+}

@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"testing"
+
+	"harmony/internal/workload"
+)
+
+// BenchmarkRunHarmonyBase drives the full discrete-event loop over the
+// 80-job base workload — the hot path every experiment exercises. Run
+// with -benchmem to track the allocation reductions from task pooling and
+// slice reuse in resource.go / harmony.go.
+func BenchmarkRunHarmonyBase(b *testing.B) {
+	specs := workload.Small(24)
+	jobs := Jobs(specs, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Machines: 40, Mode: ModeHarmony, Seed: 1}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -71,17 +71,21 @@ func (s *Simulator) processArrivals() {
 }
 
 // sortedGroups returns the active groups in stable (id) order, since map
-// iteration order would make runs non-reproducible.
+// iteration order would make runs non-reproducible. The returned slice is
+// reused by the next call and must not be retained across one — it runs in
+// the simulator's scheduling hot path on every decision.
 func (s *Simulator) sortedGroups() []*groupRun {
-	ids := make([]string, 0, len(s.groups))
+	ids := s.sortIDs[:0]
 	for id := range s.groups {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	out := make([]*groupRun, 0, len(ids))
+	out := s.sortGroups[:0]
 	for _, id := range ids {
 		out = append(out, s.groups[id])
 	}
+	s.sortIDs = ids
+	s.sortGroups = out
 	return out
 }
 

@@ -98,11 +98,21 @@ type resource struct {
 	// that held over [from, to].
 	onBusy     func(busyRate float64, from, to simtime.Time)
 	completion *simtime.Event
+	// completeFn is the method value passed to the engine, bound once; a
+	// fresh r.complete per reschedule would allocate a closure each time.
+	completeFn func()
 	rateBuf    []float64
+	// free and finBuf recycle task structs and the per-completion finished
+	// list. The event loop is single-threaded, so a task returned to free
+	// after its done callback can never still be referenced.
+	free   []*task
+	finBuf []*task
 }
 
 func newResource(eng *simtime.Engine, policy sharePolicy, onBusy func(float64, simtime.Time, simtime.Time)) *resource {
-	return &resource{eng: eng, policy: policy, last: eng.Now(), onBusy: onBusy}
+	r := &resource{eng: eng, policy: policy, last: eng.Now(), onBusy: onBusy}
+	r.completeFn = r.complete
+	return r
 }
 
 // submit enqueues a subtask with the given solo duration in seconds.
@@ -111,7 +121,15 @@ func (r *resource) submit(soloSeconds, busyPerProgress float64, done func()) {
 	if soloSeconds <= 0 {
 		soloSeconds = 1e-9
 	}
-	t := &task{remaining: soloSeconds, busyPerProgress: busyPerProgress, done: done}
+	var t *task
+	if n := len(r.free); n > 0 {
+		t = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	} else {
+		t = new(task)
+	}
+	*t = task{remaining: soloSeconds, busyPerProgress: busyPerProgress, done: done}
 	r.advance()
 	r.queue = append(r.queue, t)
 	r.admit()
@@ -150,7 +168,12 @@ func (r *resource) admit() {
 	max := r.policy.maxActive()
 	for (max == 0 || len(r.active) < max) && len(r.queue) > 0 {
 		r.active = append(r.active, r.queue[0])
-		r.queue = r.queue[1:]
+		// Pop by copy-down so the slice keeps its capacity (re-slicing the
+		// front leaks it) and the vacated tail slot drops its reference.
+		n := len(r.queue)
+		copy(r.queue, r.queue[1:])
+		r.queue[n-1] = nil
+		r.queue = r.queue[:n-1]
 	}
 	if cap(r.rateBuf) < len(r.active) {
 		r.rateBuf = make([]float64, len(r.active))
@@ -165,7 +188,10 @@ func (r *resource) admit() {
 // reschedule plans the next completion event.
 func (r *resource) reschedule() {
 	if r.completion != nil {
+		// The resource is the event's sole holder, so the canceled struct
+		// goes straight back to the engine's freelist.
 		r.eng.Cancel(r.completion)
+		r.eng.Release(r.completion)
 		r.completion = nil
 	}
 	var next float64 = -1
@@ -181,11 +207,14 @@ func (r *resource) reschedule() {
 	if next < 0 {
 		return
 	}
-	r.completion = r.eng.After(simtime.FromSeconds(next), r.complete)
+	r.completion = r.eng.After(simtime.FromSeconds(next), r.completeFn)
 }
 
 // complete fires when at least one active task has drained.
 func (r *resource) complete() {
+	// The event that fired is r.completion; it already left the queue and
+	// nothing else references it.
+	r.eng.Release(r.completion)
 	r.completion = nil
 	if debugResource && r.eng.SameInstant() > 1<<20 {
 		for i, t := range r.active {
@@ -194,7 +223,7 @@ func (r *resource) complete() {
 		}
 	}
 	r.advance()
-	var finished []*task
+	finished := r.finBuf[:0]
 	kept := r.active[:0]
 	for _, t := range r.active {
 		// A task also counts as finished when its remaining ETA is below
@@ -210,8 +239,14 @@ func (r *resource) complete() {
 	r.admit()
 	r.reschedule()
 	for _, t := range finished {
-		if t.done != nil {
-			t.done()
+		// Recycle before the callback: the struct is unreferenced once it
+		// left active, and done may submit again, reusing it immediately.
+		done := t.done
+		*t = task{}
+		r.free = append(r.free, t)
+		if done != nil {
+			done()
 		}
 	}
+	r.finBuf = finished[:0]
 }

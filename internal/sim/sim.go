@@ -144,6 +144,10 @@ type Simulator struct {
 
 	groups   map[string]*groupRun
 	jobGroup map[string]string // job id -> group id
+	// sortedGroups reuse buffers; no call site holds the returned slice
+	// across another sortedGroups call.
+	sortIDs    []string
+	sortGroups []*groupRun
 
 	// Harmony state.
 	plan            core.Plan

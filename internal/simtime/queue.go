@@ -71,6 +71,7 @@ type Engine struct {
 	now         Time
 	seq         uint64
 	events      eventHeap
+	free        []*Event
 	halted      bool
 	fired       uint64
 	sameInstant uint64
@@ -109,7 +110,15 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
@@ -134,6 +143,19 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.canceled = true
 	heap.Remove(&e.events, ev.index)
+}
+
+// Release returns a fired or canceled event to the engine's freelist so a
+// later At can reuse the struct. Only an event's sole holder may release
+// it, and must drop its reference; releasing an event still pending in the
+// queue is ignored. High-frequency schedulers (the resource completion
+// loop) release their events to avoid allocating one per state change.
+func (e *Engine) Release(ev *Event) {
+	if ev == nil || ev.index >= 0 {
+		return
+	}
+	*ev = Event{index: -1}
+	e.free = append(e.free, ev)
 }
 
 // Halt stops a Run in progress after the current event returns.
