@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-report
+.PHONY: check fmt vet build test race ctl-smoke bench-smoke bench-report
 
-## check: full local gate — vet, build, race-enabled tests, bench smoke run
-check: vet build race bench-smoke
+## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
+check: fmt vet build ctl-smoke race bench-smoke
+
+## fmt: fail if any file is not gofmt-formatted
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +24,11 @@ test:
 ## race: the race detector guards the scheduler search and experiment pool
 race:
 	$(GO) test -race ./...
+
+## ctl-smoke: fast race-enabled pass over the control plane (HTTP API +
+## live-master admission integration)
+ctl-smoke:
+	$(GO) test -race ./internal/ctl/...
 
 ## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
 bench-smoke:

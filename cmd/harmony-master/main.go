@@ -1,15 +1,19 @@
 // harmony-master runs the live Harmony master: it waits for workers to
-// register, then accepts job submissions. With -demo it submits a small
-// co-located training mix itself and reports progress — handy for trying
-// the runtime end to end together with harmony-worker processes.
+// register, serves the HTTP control plane for online job submission
+// (harmonyctl speaks it), and shuts down cleanly on SIGINT/SIGTERM —
+// draining the admission queue, checkpointing running jobs, and closing
+// the master. With -demo it submits a small co-located training mix
+// itself and reports progress.
 //
-//	harmony-master -listen 127.0.0.1:7070 -workers 3 -demo
+//	harmony-master -listen 127.0.0.1:7070 -api 127.0.0.1:8080 -workers 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"harmony"
@@ -25,8 +29,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("harmony-master", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "address to serve workers on")
+	api := fs.String("api", "127.0.0.1:8080", "address to serve the HTTP control plane on (empty disables)")
 	workers := fs.Int("workers", 2, "number of workers to wait for")
 	wait := fs.Duration("wait", 5*time.Minute, "how long to wait for workers")
+	drain := fs.Duration("drain", 30*time.Second, "per-job checkpoint budget during shutdown")
 	demo := fs.Bool("demo", false, "submit a demo workload once workers join")
 	iterations := fs.Int("iterations", 20, "demo job iterations")
 	if err := fs.Parse(args); err != nil {
@@ -44,29 +50,67 @@ func run(args []string) error {
 	}
 	fmt.Printf("workers registered: %v\n", m.Workers())
 
-	if !*demo {
-		fmt.Println("running until interrupted (submit jobs programmatically via the harmony package)")
-		select {}
+	var cp *harmony.ControlPlane
+	if *api != "" {
+		cp, err = m.ServeAPI(*api)
+		if err != nil {
+			return err
+		}
+		defer cp.Close()
+		fmt.Printf("control plane on http://%s (try: harmonyctl -addr http://%s cluster)\n",
+			cp.Addr(), cp.Addr())
 	}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *demo {
+		if err := runDemo(m, *iterations, sig); err != nil {
+			return err
+		}
+		shutdown(m, cp, *drain)
+		return nil
+	}
+
+	fmt.Println("running; submit jobs with harmonyctl, stop with SIGINT/SIGTERM")
+	<-sig
+	fmt.Println("signal received, shutting down")
+	shutdown(m, cp, *drain)
+	return nil
+}
+
+// shutdown closes the control plane (no new admissions), checkpoints
+// running jobs, and closes the master.
+func shutdown(m *harmony.Master, cp *harmony.ControlPlane, drain time.Duration) {
+	if cp != nil {
+		_ = cp.Close()
+	}
+	saved := m.Shutdown(drain)
+	if len(saved) > 0 {
+		fmt.Printf("checkpointed before exit: %v\n", saved)
+	}
+	fmt.Println("master closed")
+}
+
+func runDemo(m *harmony.Master, iterations int, sig <-chan os.Signal) error {
 	specs := []harmony.Training{
 		{
 			Name:       "mlr",
 			Config:     harmony.TrainingConfig{Algorithm: "mlr", Features: 32, Classes: 4, Rows: 512},
-			Iterations: *iterations,
+			Iterations: iterations,
 			Alpha:      0.3,
 			Seed:       1,
 		},
 		{
 			Name:       "lasso",
 			Config:     harmony.TrainingConfig{Algorithm: "lasso", Features: 32, Rows: 384, Lambda: 0.02},
-			Iterations: *iterations,
+			Iterations: iterations,
 			Seed:       2,
 		},
 		{
 			Name:       "lda",
 			Config:     harmony.TrainingConfig{Algorithm: "lda", Features: 48, Classes: 4, Rows: 256},
-			Iterations: *iterations,
+			Iterations: iterations,
 			Seed:       3,
 		},
 	}
@@ -76,10 +120,26 @@ func run(args []string) error {
 		}
 		fmt.Printf("submitted %s (%s)\n", s.Name, s.Config.Algorithm)
 	}
-	for _, s := range specs {
-		if err := m.Wait(s.Name, 10*time.Minute); err != nil {
+	done := make(chan error, 1)
+	go func() {
+		for _, s := range specs {
+			if err := m.Wait(s.Name, 10*time.Minute); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
 			return err
 		}
+	case <-sig:
+		fmt.Println("signal received during demo, shutting down")
+		return nil
+	}
+	for _, s := range specs {
 		iter, loss, _, err := m.Progress(s.Name)
 		if err != nil {
 			return err

@@ -1,0 +1,229 @@
+// harmonyctl drives a live harmony-master through its HTTP control
+// plane: submit jobs into the online admission queue, inspect job and
+// cluster status, and cancel work.
+//
+//	harmonyctl [-addr http://127.0.0.1:8080] <command> [flags]
+//
+// Commands:
+//
+//	submit   submit a job (admitted by the §IV-B4 arrival rule or held pending)
+//	jobs     list all jobs
+//	status   show one job
+//	cancel   cancel a pending or running job
+//	cluster  show workers, groups and the admission queue
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"harmony/internal/ctl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster} [flags]")
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("harmonyctl", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "control-plane base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return usage()
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), hc: &http.Client{Timeout: *timeout}}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(c, rest)
+	case "jobs":
+		return cmdJobs(c)
+	case "status":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: harmonyctl status <name>")
+		}
+		return cmdStatus(c, rest[0])
+	case "cancel":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: harmonyctl cancel <name>")
+		}
+		return cmdCancel(c, rest[0])
+	case "cluster":
+		return cmdCluster(c)
+	default:
+		return usage()
+	}
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// do issues the request and decodes the JSON response into out,
+// surfacing the API's structured errors as Go errors.
+func (c *client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e ctl.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error.Message != "" {
+			return fmt.Errorf("%s (%s)", e.Error.Message, e.Error.Code)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func cmdSubmit(c *client, args []string) error {
+	fs := flag.NewFlagSet("harmonyctl submit", flag.ContinueOnError)
+	name := fs.String("name", "", "job name (required)")
+	algo := fs.String("algo", "mlr", "algorithm: mlr, lasso, nmf or lda")
+	features := fs.Int("features", 0, "feature count (0 = default)")
+	classes := fs.Int("classes", 0, "classes / rank / topics (0 = default)")
+	rows := fs.Int("rows", 0, "training rows (0 = default)")
+	lr := fs.Float64("lr", 0, "learning rate (0 = default)")
+	lambda := fs.Float64("lambda", 0, "lasso L1 penalty (0 = default)")
+	iters := fs.Int("iterations", 20, "iterations until convergence")
+	alpha := fs.Float64("alpha", 0, "initial disk-spill ratio in [0, 1]")
+	seed := fs.Int64("seed", 1, "data-generation seed")
+	workersCSV := fs.String("workers", "", "comma-separated worker names to pin the job (bypasses admission)")
+	comp := fs.Float64("comp", 0, "profile hint: COMP machine-seconds per iteration")
+	netSec := fs.Float64("net", 0, "profile hint: COMM seconds per iteration")
+	inputGB := fs.Float64("input-gb", 0, "profile hint: input size in GB")
+	modelGB := fs.Float64("model-gb", 0, "profile hint: model size in GB")
+	workGB := fs.Float64("work-gb", 0, "profile hint: working memory in GB")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("submit: -name is required")
+	}
+	req := ctl.SubmitRequest{
+		Name: *name, Algorithm: *algo,
+		Features: *features, Classes: *classes, Rows: *rows,
+		LearningRate: *lr, Lambda: *lambda,
+		Iterations: *iters, Alpha: *alpha, Seed: *seed,
+	}
+	if *workersCSV != "" {
+		req.Workers = strings.Split(*workersCSV, ",")
+	}
+	if *comp > 0 || *netSec > 0 || *inputGB > 0 || *modelGB > 0 || *workGB > 0 {
+		req.Profile = &ctl.ProfileHints{
+			CompSeconds: *comp, NetSeconds: *netSec,
+			InputGB: *inputGB, ModelGB: *modelGB, WorkGB: *workGB,
+		}
+	}
+	var resp ctl.SubmitResponse
+	if err := c.do(http.MethodPost, "/v1/jobs", req, &resp); err != nil {
+		return err
+	}
+	switch resp.State {
+	case "running":
+		fmt.Printf("%s admitted, running on %s\n", resp.Name, strings.Join(resp.Workers, ","))
+	default:
+		fmt.Printf("%s held pending in the admission queue\n", resp.Name)
+	}
+	return nil
+}
+
+func cmdJobs(c *client) error {
+	var resp ctl.JobListResponse
+	if err := c.do(http.MethodGet, "/v1/jobs", nil, &resp); err != nil {
+		return err
+	}
+	if len(resp.Jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	fmt.Printf("%-20s %-10s %9s %12s %8s  %s\n",
+		"NAME", "STATE", "ITERATION", "LOSS", "PROFILED", "WORKERS")
+	for _, j := range resp.Jobs {
+		fmt.Printf("%-20s %-10s %9d %12.4f %8v  %s\n",
+			j.Name, j.State, j.Iteration, j.Loss, j.Profiled, strings.Join(j.Workers, ","))
+	}
+	return nil
+}
+
+func cmdStatus(c *client, name string) error {
+	var j ctl.JobResponse
+	if err := c.do(http.MethodGet, "/v1/jobs/"+name, nil, &j); err != nil {
+		return err
+	}
+	fmt.Printf("name:        %s\n", j.Name)
+	fmt.Printf("state:       %s\n", j.State)
+	fmt.Printf("iteration:   %d\n", j.Iteration)
+	fmt.Printf("loss:        %.6f\n", j.Loss)
+	fmt.Printf("workers:     %s\n", strings.Join(j.Workers, ","))
+	fmt.Printf("profiled:    %v (comp %.3fs, net %.3fs)\n", j.Profiled, j.CompSeconds, j.NetSeconds)
+	fmt.Printf("checkpoint:  iteration %d\n", j.CheckpointIteration)
+	return nil
+}
+
+func cmdCancel(c *client, name string) error {
+	if err := c.do(http.MethodDelete, "/v1/jobs/"+name, nil, nil); err != nil {
+		return err
+	}
+	fmt.Printf("%s canceled\n", name)
+	return nil
+}
+
+func cmdCluster(c *client) error {
+	var resp ctl.ClusterResponse
+	if err := c.do(http.MethodGet, "/v1/cluster", nil, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("workers (%d): %s\n", len(resp.Workers), strings.Join(resp.Workers, ","))
+	if len(resp.Groups) == 0 {
+		fmt.Println("groups: none (cluster idle)")
+	}
+	for i, g := range resp.Groups {
+		fmt.Printf("group %d: workers=[%s] jobs=[%s]\n",
+			i, strings.Join(g.Workers, ","), strings.Join(g.Jobs, ","))
+	}
+	if len(resp.Pending) > 0 {
+		fmt.Printf("pending (%d): %s\n", len(resp.Pending), strings.Join(resp.Pending, ","))
+	} else {
+		fmt.Println("pending: none")
+	}
+	return nil
+}

@@ -295,17 +295,8 @@ type TrainingConfig struct {
 }
 
 func (c TrainingConfig) internal() (mlapp.Config, error) {
-	var kind mlapp.Kind
-	switch c.Algorithm {
-	case "mlr", "MLR":
-		kind = mlapp.MLR
-	case "lasso", "Lasso":
-		kind = mlapp.Lasso
-	case "nmf", "NMF":
-		kind = mlapp.NMF
-	case "lda", "LDA":
-		kind = mlapp.LDA
-	default:
+	kind, err := mlapp.ParseKind(c.Algorithm)
+	if err != nil {
 		return mlapp.Config{}, fmt.Errorf("harmony: unknown algorithm %q", c.Algorithm)
 	}
 	return mlapp.Config{

@@ -1,0 +1,379 @@
+// Package ctl is the live master's control plane: an HTTP/JSON API for
+// online job submission through the §IV-B4 admission queue, job and
+// cluster status, cancellation, and observability (/healthz and a
+// Prometheus-text /metrics). It is stdlib-only and mounted next to the
+// master's worker-facing RPC endpoint.
+//
+// API surface (see DESIGN.md §7):
+//
+//	POST   /v1/jobs          submit a job (admitted or held pending)
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{name}   one job's status
+//	DELETE /v1/jobs/{name}   cancel a pending or running job
+//	GET    /v1/cluster       workers, groups, queue
+//	GET    /healthz          liveness
+//	GET    /metrics          Prometheus text format
+package ctl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"regexp"
+	"sync"
+	"time"
+
+	"harmony/internal/master"
+	"harmony/internal/mlapp"
+)
+
+// Backend is what the control plane needs from the live master;
+// *master.Master satisfies it.
+type Backend interface {
+	Enqueue(spec master.JobSpec, prof master.Profile) (master.Admission, error)
+	Submit(spec master.JobSpec, group []string) error
+	ListJobs() []master.JobView
+	Job(name string) (master.JobView, bool)
+	Cancel(name string) error
+	Cluster() master.ClusterView
+	Counters() master.Counters
+	WorkerStats() (cpu, net float64, err error)
+}
+
+var _ Backend = (*master.Master)(nil)
+
+// routes enumerated for the per-route request counter, in the order they
+// appear in /metrics.
+var routes = []string{
+	"POST /v1/jobs",
+	"GET /v1/jobs",
+	"GET /v1/jobs/{name}",
+	"DELETE /v1/jobs/{name}",
+	"GET /v1/cluster",
+	"GET /healthz",
+	"GET /metrics",
+}
+
+// Server serves the control-plane API. Create with New, mount it as an
+// http.Handler or call Start to listen on an address.
+type Server struct {
+	b   Backend
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	requests map[string]int64
+
+	ln net.Listener
+	hs *http.Server
+}
+
+// New builds the control plane over the backend.
+func New(b Backend) *Server {
+	s := &Server{
+		b:        b,
+		mux:      http.NewServeMux(),
+		requests: make(map[string]int64, len(routes)),
+	}
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleListJobs)
+	s.handle("GET /v1/jobs/{name}", s.handleGetJob)
+	s.handle("DELETE /v1/jobs/{name}", s.handleCancelJob)
+	s.handle("GET /v1/cluster", s.handleCluster)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) handle(route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests[route]++
+		s.mu.Unlock()
+		h(w, r)
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// the API in the background until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("ctl: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.hs.Serve(ln) }()
+	return nil
+}
+
+// Addr is the listening address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener; in-flight requests are aborted.
+func (s *Server) Close() error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Close()
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Name         string  `json:"name"`
+	Algorithm    string  `json:"algorithm"`
+	Features     int     `json:"features,omitempty"`
+	Classes      int     `json:"classes,omitempty"`
+	Rows         int     `json:"rows,omitempty"`
+	LearningRate float64 `json:"learning_rate,omitempty"`
+	Lambda       float64 `json:"lambda,omitempty"`
+	Iterations   int     `json:"iterations"`
+	Alpha        float64 `json:"alpha,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	// Workers pins the job to an explicit worker group, bypassing the
+	// admission queue.
+	Workers []string `json:"workers,omitempty"`
+	// Profile carries cost estimates for the §IV-B4 arrival rule; without
+	// it the job can only start on an idle cluster.
+	Profile *ProfileHints `json:"profile,omitempty"`
+}
+
+// ProfileHints are scheduler-unit cost estimates for an unprofiled job.
+type ProfileHints struct {
+	CompSeconds float64 `json:"comp_seconds,omitempty"`
+	NetSeconds  float64 `json:"net_seconds,omitempty"`
+	InputGB     float64 `json:"input_gb,omitempty"`
+	ModelGB     float64 `json:"model_gb,omitempty"`
+	WorkGB      float64 `json:"work_gb,omitempty"`
+}
+
+// SubmitResponse reports the admission outcome.
+type SubmitResponse struct {
+	Name  string `json:"name"`
+	State string `json:"state"` // "running" or "pending"
+	// Workers is the group the job was placed on when admitted.
+	Workers []string `json:"workers,omitempty"`
+}
+
+// JobResponse is one job's status.
+type JobResponse struct {
+	Name                string   `json:"name"`
+	State               string   `json:"state"`
+	Iteration           int      `json:"iteration"`
+	Loss                float64  `json:"loss"`
+	Workers             []string `json:"workers,omitempty"`
+	CompSeconds         float64  `json:"comp_seconds"`
+	NetSeconds          float64  `json:"net_seconds"`
+	Profiled            bool     `json:"profiled"`
+	CheckpointIteration int      `json:"checkpoint_iteration"`
+}
+
+// JobListResponse is the GET /v1/jobs body.
+type JobListResponse struct {
+	Jobs []JobResponse `json:"jobs"`
+}
+
+// GroupResponse is one live co-location group.
+type GroupResponse struct {
+	Workers []string `json:"workers"`
+	Jobs    []string `json:"jobs"`
+}
+
+// ClusterResponse is the GET /v1/cluster body.
+type ClusterResponse struct {
+	Workers []string        `json:"workers"`
+	Groups  []GroupResponse `json:"groups"`
+	Pending []string        `json:"pending,omitempty"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+}
+
+// ErrorResponse is the envelope of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo is a machine-readable error: a stable code plus a message.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used in ErrorInfo.Code.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeNotFound       = "not_found"
+	CodeConflict       = "conflict"
+	CodeUnavailable    = "unavailable"
+	CodeInternal       = "internal"
+)
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if !nameRe.MatchString(req.Name) {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"name must match "+nameRe.String())
+		return
+	}
+	kind, err := mlapp.ParseKind(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("unknown algorithm %q (want mlr, lasso, nmf or lda)", req.Algorithm))
+		return
+	}
+	if req.Iterations <= 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "iterations must be positive")
+		return
+	}
+	if req.Alpha < 0 || req.Alpha > 1 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "alpha must be in [0, 1]")
+		return
+	}
+	if req.Features < 0 || req.Classes < 0 || req.Rows < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "problem sizes must be non-negative")
+		return
+	}
+	spec := master.JobSpec{
+		Name: req.Name,
+		Config: mlapp.Config{
+			Kind: kind, Features: req.Features, Classes: req.Classes, Rows: req.Rows,
+			LearningRate: req.LearningRate, Lambda: req.Lambda,
+		},
+		Iterations: req.Iterations,
+		Alpha:      req.Alpha,
+		Seed:       req.Seed,
+	}
+	if len(req.Workers) > 0 {
+		// An explicit group is an operator override: deploy directly.
+		if err := s.b.Submit(spec, req.Workers); err != nil {
+			writeBackendError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, SubmitResponse{
+			Name: req.Name, State: "running", Workers: req.Workers,
+		})
+		return
+	}
+	var prof master.Profile
+	if req.Profile != nil {
+		prof = master.Profile{
+			CompSeconds: req.Profile.CompSeconds,
+			NetSeconds:  req.Profile.NetSeconds,
+			InputGB:     req.Profile.InputGB,
+			ModelGB:     req.Profile.ModelGB,
+			WorkGB:      req.Profile.WorkGB,
+		}
+	}
+	adm, err := s.b.Enqueue(spec, prof)
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	if !adm.Admitted {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{Name: req.Name, State: "pending"})
+		return
+	}
+	writeJSON(w, http.StatusCreated, SubmitResponse{
+		Name: req.Name, State: "running", Workers: adm.Workers,
+	})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	views := s.b.ListJobs()
+	out := JobListResponse{Jobs: make([]JobResponse, len(views))}
+	for i, v := range views {
+		out.Jobs[i] = toJobResponse(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	v, ok := s.b.Job(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown job %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobResponse(v))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.b.Cancel(name); err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "state": "canceled"})
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cv := s.b.Cluster()
+	out := ClusterResponse{Workers: cv.Workers, Pending: cv.Pending}
+	for _, g := range cv.Groups {
+		out.Groups = append(out.Groups, GroupResponse{Workers: g.Workers, Jobs: g.Jobs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func toJobResponse(v master.JobView) JobResponse {
+	return JobResponse{
+		Name:                v.Name,
+		State:               v.State,
+		Iteration:           v.Iteration,
+		Loss:                v.Loss,
+		Workers:             v.Workers,
+		CompSeconds:         v.CompSeconds,
+		NetSeconds:          v.NetSeconds,
+		Profiled:            v.Profiled,
+		CheckpointIteration: v.CheckpointIter,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorInfo{Code: code, Message: msg}})
+}
+
+// writeBackendError maps master errors onto HTTP statuses.
+func writeBackendError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, master.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+	case errors.Is(err, master.ErrUnknownWorker):
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+	case errors.Is(err, master.ErrDuplicateJob), errors.Is(err, master.ErrJobFinished):
+		writeError(w, http.StatusConflict, CodeConflict, err.Error())
+	case errors.Is(err, master.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}

@@ -1,0 +1,345 @@
+package ctl
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harmony/internal/master"
+)
+
+// fakeBackend scripts the master's control-plane surface for handler
+// tests; the live path is covered by integration_test.go.
+type fakeBackend struct {
+	enqueue    func(master.JobSpec, master.Profile) (master.Admission, error)
+	submit     func(master.JobSpec, []string) error
+	jobs       []master.JobView
+	cancelErr  error
+	cluster    master.ClusterView
+	counters   master.Counters
+	statsErr   error
+	lastSpec   master.JobSpec
+	lastProf   master.Profile
+	lastGroup  []string
+	lastCancel string
+}
+
+func (f *fakeBackend) Enqueue(spec master.JobSpec, prof master.Profile) (master.Admission, error) {
+	f.lastSpec, f.lastProf = spec, prof
+	if f.enqueue != nil {
+		return f.enqueue(spec, prof)
+	}
+	return master.Admission{Admitted: true, Workers: []string{"w0"}}, nil
+}
+
+func (f *fakeBackend) Submit(spec master.JobSpec, group []string) error {
+	f.lastSpec, f.lastGroup = spec, group
+	if f.submit != nil {
+		return f.submit(spec, group)
+	}
+	return nil
+}
+
+func (f *fakeBackend) ListJobs() []master.JobView { return f.jobs }
+
+func (f *fakeBackend) Job(name string) (master.JobView, bool) {
+	for _, j := range f.jobs {
+		if j.Name == name {
+			return j, true
+		}
+	}
+	return master.JobView{}, false
+}
+
+func (f *fakeBackend) Cancel(name string) error {
+	f.lastCancel = name
+	return f.cancelErr
+}
+
+func (f *fakeBackend) Cluster() master.ClusterView { return f.cluster }
+func (f *fakeBackend) Counters() master.Counters   { return f.counters }
+
+func (f *fakeBackend) WorkerStats() (float64, float64, error) {
+	return 0.75, 0.5, f.statsErr
+}
+
+func doReq(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decodeErr(t *testing.T, w *httptest.ResponseRecorder) ErrorInfo {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body not JSON: %v (%s)", err, w.Body.String())
+	}
+	return e.Error
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(&fakeBackend{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed JSON", `{`},
+		{"unknown field", `{"name":"a","algorithm":"mlr","iterations":5,"bogus":1}`},
+		{"missing name", `{"algorithm":"mlr","iterations":5}`},
+		{"bad name", `{"name":"a job!","algorithm":"mlr","iterations":5}`},
+		{"bad algorithm", `{"name":"a","algorithm":"svm","iterations":5}`},
+		{"zero iterations", `{"name":"a","algorithm":"mlr"}`},
+		{"alpha out of range", `{"name":"a","algorithm":"mlr","iterations":5,"alpha":1.5}`},
+		{"negative rows", `{"name":"a","algorithm":"mlr","iterations":5,"rows":-1}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := doReq(t, s, http.MethodPost, "/v1/jobs", c.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%s)", w.Code, w.Body.String())
+			}
+			if e := decodeErr(t, w); e.Code != CodeInvalidRequest {
+				t.Errorf("error code = %q, want %q", e.Code, CodeInvalidRequest)
+			}
+		})
+	}
+}
+
+func TestSubmitAdmitted(t *testing.T) {
+	fb := &fakeBackend{}
+	s := New(fb)
+	w := doReq(t, s, http.MethodPost, "/v1/jobs",
+		`{"name":"a","algorithm":"lasso","iterations":5,"seed":9,"profile":{"comp_seconds":2,"net_seconds":1,"work_gb":3}}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("status = %d, want 201 (%s)", w.Code, w.Body.String())
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.State != "running" || len(resp.Workers) != 1 {
+		t.Errorf("response = %+v", resp)
+	}
+	if fb.lastSpec.Name != "a" || fb.lastSpec.Seed != 9 || fb.lastSpec.Iterations != 5 {
+		t.Errorf("spec passed through = %+v", fb.lastSpec)
+	}
+	if fb.lastProf.CompSeconds != 2 || fb.lastProf.NetSeconds != 1 || fb.lastProf.WorkGB != 3 {
+		t.Errorf("profile passed through = %+v", fb.lastProf)
+	}
+}
+
+func TestSubmitHeldPending(t *testing.T) {
+	fb := &fakeBackend{
+		enqueue: func(master.JobSpec, master.Profile) (master.Admission, error) {
+			return master.Admission{}, nil
+		},
+	}
+	w := doReq(t, New(fb), http.MethodPost, "/v1/jobs",
+		`{"name":"a","algorithm":"mlr","iterations":5}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (%s)", w.Code, w.Body.String())
+	}
+	var resp SubmitResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.State != "pending" {
+		t.Errorf("state = %q, want pending", resp.State)
+	}
+}
+
+func TestSubmitExplicitWorkersBypassesQueue(t *testing.T) {
+	fb := &fakeBackend{}
+	w := doReq(t, New(fb), http.MethodPost, "/v1/jobs",
+		`{"name":"a","algorithm":"nmf","iterations":5,"workers":["w1","w2"]}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("status = %d, want 201 (%s)", w.Code, w.Body.String())
+	}
+	if len(fb.lastGroup) != 2 || fb.lastGroup[0] != "w1" {
+		t.Errorf("explicit group not passed to Submit: %v", fb.lastGroup)
+	}
+}
+
+func TestBackendErrorMapping(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantCode   string
+	}{
+		{master.ErrDuplicateJob, http.StatusConflict, CodeConflict},
+		{master.ErrUnknownWorker, http.StatusBadRequest, CodeInvalidRequest},
+		{master.ErrDraining, http.StatusServiceUnavailable, CodeUnavailable},
+		{errors.New("boom"), http.StatusInternalServerError, CodeInternal},
+	}
+	for _, c := range cases {
+		fb := &fakeBackend{
+			enqueue: func(master.JobSpec, master.Profile) (master.Admission, error) {
+				return master.Admission{}, c.err
+			},
+		}
+		w := doReq(t, New(fb), http.MethodPost, "/v1/jobs",
+			`{"name":"a","algorithm":"mlr","iterations":5}`)
+		if w.Code != c.wantStatus {
+			t.Errorf("%v: status = %d, want %d", c.err, w.Code, c.wantStatus)
+		}
+		if e := decodeErr(t, w); e.Code != c.wantCode {
+			t.Errorf("%v: code = %q, want %q", c.err, e.Code, c.wantCode)
+		}
+	}
+}
+
+func TestGetJob(t *testing.T) {
+	fb := &fakeBackend{jobs: []master.JobView{{
+		Name: "a", State: "running", Iteration: 7, Loss: 0.5,
+		Workers: []string{"w0", "w1"}, Profiled: true,
+	}}}
+	s := New(fb)
+	w := doReq(t, s, http.MethodGet, "/v1/jobs/a", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", w.Code, w.Body.String())
+	}
+	var j JobResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Name != "a" || j.Iteration != 7 || !j.Profiled || len(j.Workers) != 2 {
+		t.Errorf("job response = %+v", j)
+	}
+
+	w = doReq(t, s, http.MethodGet, "/v1/jobs/nope", "")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", w.Code)
+	}
+	if e := decodeErr(t, w); e.Code != CodeNotFound {
+		t.Errorf("error code = %q", e.Code)
+	}
+}
+
+func TestCancelJob(t *testing.T) {
+	fb := &fakeBackend{}
+	s := New(fb)
+	w := doReq(t, s, http.MethodDelete, "/v1/jobs/a", "")
+	if w.Code != http.StatusOK || fb.lastCancel != "a" {
+		t.Fatalf("cancel status = %d, backend saw %q", w.Code, fb.lastCancel)
+	}
+
+	fb.cancelErr = master.ErrJobFinished
+	if w := doReq(t, s, http.MethodDelete, "/v1/jobs/a", ""); w.Code != http.StatusConflict {
+		t.Errorf("cancel of finished job status = %d, want 409", w.Code)
+	}
+	fb.cancelErr = master.ErrUnknownJob
+	if w := doReq(t, s, http.MethodDelete, "/v1/jobs/a", ""); w.Code != http.StatusNotFound {
+		t.Errorf("cancel of unknown job status = %d, want 404", w.Code)
+	}
+}
+
+func TestClusterAndHealthz(t *testing.T) {
+	fb := &fakeBackend{cluster: master.ClusterView{
+		Workers: []string{"w0", "w1"},
+		Groups:  []master.GroupView{{Workers: []string{"w0", "w1"}, Jobs: []string{"a", "b"}}},
+		Pending: []string{"c"},
+	}}
+	s := New(fb)
+	w := doReq(t, s, http.MethodGet, "/v1/cluster", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("cluster status = %d", w.Code)
+	}
+	var cv ClusterResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &cv); err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Workers) != 2 || len(cv.Groups) != 1 || len(cv.Pending) != 1 {
+		t.Errorf("cluster response = %+v", cv)
+	}
+
+	w = doReq(t, s, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", w.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 2 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	fb := &fakeBackend{
+		jobs: []master.JobView{
+			{Name: "a", State: "running"},
+			{Name: "b", State: "running"},
+			{Name: "c", State: "pending"},
+		},
+		cluster: master.ClusterView{
+			Workers: []string{"w0", "w1"},
+			Groups:  []master.GroupView{{Workers: []string{"w0"}, Jobs: []string{"a"}}},
+			Pending: []string{"c"},
+		},
+		counters: master.Counters{
+			AdmittedInitial: 1, AdmittedArrival: 2, HeldPending: 3,
+			QueueDrained: 1, Canceled: 1, Migrations: 4, Recoveries: 5,
+			CheckpointFailures: 6,
+		},
+	}
+	s := New(fb)
+	// A prior request shows up in the per-route counter.
+	doReq(t, s, http.MethodGet, "/v1/jobs", "")
+	w := doReq(t, s, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`harmony_jobs{state="running"} 2`,
+		`harmony_jobs{state="pending"} 1`,
+		`harmony_jobs{state="finished"} 0`,
+		`harmony_queue_depth 1`,
+		`harmony_workers 2`,
+		`harmony_groups 1`,
+		`harmony_admissions_total{path="initial"} 1`,
+		`harmony_admissions_total{path="arrival"} 2`,
+		`harmony_admissions_held_total 3`,
+		`harmony_queue_drained_total 1`,
+		`harmony_jobs_canceled_total 1`,
+		`harmony_migrations_total 4`,
+		`harmony_recoveries_total 5`,
+		`harmony_checkpoint_failures_total 6`,
+		`harmony_utilization{resource="cpu"} 0.75`,
+		`harmony_utilization{resource="network"} 0.5`,
+		`harmony_api_requests_total{route="GET /v1/jobs"} 1`,
+		"# TYPE harmony_jobs gauge",
+		"# TYPE harmony_admissions_total counter",
+	} {
+		if !strings.Contains(body, want+"\n") && !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsSkipsUtilizationOnStatsError(t *testing.T) {
+	fb := &fakeBackend{statsErr: errors.New("worker down")}
+	w := doReq(t, New(fb), http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	if strings.Contains(w.Body.String(), "harmony_utilization") {
+		t.Error("utilization emitted despite stats error")
+	}
+}

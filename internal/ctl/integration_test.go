@@ -1,0 +1,238 @@
+package ctl_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/ctl"
+	"harmony/internal/master"
+	"harmony/internal/worker"
+)
+
+// startCluster boots a live master with n workers and mounts the control
+// plane on an ephemeral port, returning the API base URL.
+func startCluster(t *testing.T, n int, opts core.Options) string {
+	t.Helper()
+	m, err := master.New("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	for i := 0; i < n; i++ {
+		w, _, err := worker.New(
+			fmt.Sprintf("w%d", i), "127.0.0.1:0", m.Addr(), t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+	}
+	if err := m.WaitForWorkers(n, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := ctl.New(m)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return "http://" + s.Addr()
+}
+
+func httpJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 400 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submitBody(name, algo string, iters int, hints *ctl.ProfileHints) ctl.SubmitRequest {
+	return ctl.SubmitRequest{
+		Name: name, Algorithm: algo,
+		Features: 12, Classes: 3, Rows: 96, LearningRate: 0.2,
+		Iterations: iters, Seed: 7, Profile: hints,
+	}
+}
+
+func pollJob(t *testing.T, base, name string, timeout time.Duration, ok func(ctl.JobResponse) bool) ctl.JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var j ctl.JobResponse
+		code := httpJSON(t, http.MethodGet, base+"/v1/jobs/"+name, nil, &j)
+		if code == http.StatusOK && ok(j) {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach the expected state (last: code %d, %+v)", name, code, j)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestOnlineArrivalOverHTTP drives the full §IV-B4 online story through
+// the HTTP API against a live master with real workers: an initial admit
+// on the idle cluster, an arrival-rule admit of a complementary job into
+// the running group, hold-pending for memory-infeasible jobs, pending and
+// running cancellation, and the queue drain once the cluster idles.
+func TestOnlineArrivalOverHTTP(t *testing.T) {
+	// MemoryCapGB 2 makes any job hinting work_gb=50 infeasible in every
+	// non-empty group, forcing the hold-pending path.
+	base := startCluster(t, 2, core.Options{MemoryCapGB: 2})
+
+	// Job a: long-running, admitted on the idle cluster (initial path).
+	var adm ctl.SubmitResponse
+	code := httpJSON(t, http.MethodPost, base+"/v1/jobs",
+		submitBody("a", "mlr", 100000, nil), &adm)
+	if code != http.StatusCreated {
+		t.Fatalf("submit a: code %d", code)
+	}
+	if adm.State != "running" || len(adm.Workers) != 2 {
+		t.Fatalf("submit a: %+v, want running on both workers", adm)
+	}
+
+	// Wait for the master to profile a, then read its measured costs so
+	// job b can be shaped as a's complement regardless of machine speed.
+	prof := pollJob(t, base, "a", 30*time.Second, func(j ctl.JobResponse) bool {
+		return j.Profiled && j.CompSeconds > 0 && j.NetSeconds > 0
+	})
+
+	// Job b mirrors a (comp per machine = a's net and vice versa), so
+	// co-locating them drives both utilizations toward 1 and the arrival
+	// rule must place b into a's running group.
+	mirror := &ctl.ProfileHints{
+		CompSeconds: 2 * prof.NetSeconds,
+		NetSeconds:  prof.CompSeconds / 2,
+	}
+	code = httpJSON(t, http.MethodPost, base+"/v1/jobs",
+		submitBody("b", "lasso", 5, mirror), &adm)
+	if code != http.StatusCreated {
+		t.Fatalf("submit b: code %d (%+v)", code, adm)
+	}
+	if adm.State != "running" || len(adm.Workers) != 2 {
+		t.Fatalf("arrival admission of b = %+v, want running on a's group", adm)
+	}
+	var cv ctl.ClusterResponse
+	if code := httpJSON(t, http.MethodGet, base+"/v1/cluster", nil, &cv); code != http.StatusOK {
+		t.Fatalf("cluster: code %d", code)
+	}
+	if len(cv.Groups) != 1 || len(cv.Groups[0].Jobs) != 2 {
+		t.Fatalf("cluster after arrival admit = %+v, want one group with jobs a and b", cv)
+	}
+	if m := fetchMetrics(t, base); !strings.Contains(m, `harmony_admissions_total{path="arrival"} 1`) {
+		t.Errorf("metrics missing arrival admission:\n%s", m)
+	}
+
+	// Jobs c and d hint at a working set far over the memory cap: no
+	// running group can take them, so both are held pending.
+	for _, name := range []string{"c", "d"} {
+		code = httpJSON(t, http.MethodPost, base+"/v1/jobs",
+			submitBody(name, "mlr", 4, &ctl.ProfileHints{WorkGB: 50}), &adm)
+		if code != http.StatusAccepted || adm.State != "pending" {
+			t.Fatalf("submit %s: code %d, %+v; want 202 pending", name, code, adm)
+		}
+	}
+
+	// Canceling pending d removes it from the queue outright.
+	if code := httpJSON(t, http.MethodDelete, base+"/v1/jobs/d", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel d: code %d", code)
+	}
+	if code := httpJSON(t, http.MethodGet, base+"/v1/jobs/d", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("get canceled-pending d: code %d, want 404", code)
+	}
+
+	// Cancel the long-running a; once b also finishes the cluster idles
+	// and the drain admits c through the initial path (the memory cap
+	// only gates co-location).
+	if code := httpJSON(t, http.MethodDelete, base+"/v1/jobs/a", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel a: code %d", code)
+	}
+	pollJob(t, base, "c", 60*time.Second, func(j ctl.JobResponse) bool {
+		return j.State == "finished"
+	})
+
+	m := fetchMetrics(t, base)
+	for _, want := range []string{
+		`harmony_queue_depth 0`,
+		`harmony_queue_drained_total 1`,
+		`harmony_admissions_held_total 2`,
+		`harmony_jobs_canceled_total 2`,
+		`harmony_admissions_total{path="initial"} 2`,
+		`harmony_jobs{state="canceled"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("final metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestHTTPDuplicateAndUnknown covers the error surface against the live
+// master: duplicate submissions conflict, unknown jobs 404, unknown
+// workers in an explicit group are invalid.
+func TestHTTPDuplicateAndUnknown(t *testing.T) {
+	base := startCluster(t, 1, core.Options{})
+
+	var adm ctl.SubmitResponse
+	if code := httpJSON(t, http.MethodPost, base+"/v1/jobs",
+		submitBody("a", "mlr", 100000, nil), &adm); code != http.StatusCreated {
+		t.Fatalf("submit a: code %d", code)
+	}
+	if code := httpJSON(t, http.MethodPost, base+"/v1/jobs",
+		submitBody("a", "mlr", 5, nil), nil); code != http.StatusConflict {
+		t.Errorf("duplicate submit: code %d, want 409", code)
+	}
+	if code := httpJSON(t, http.MethodGet, base+"/v1/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: code %d, want 404", code)
+	}
+	req := submitBody("x", "mlr", 5, nil)
+	req.Workers = []string{"ghost"}
+	if code := httpJSON(t, http.MethodPost, base+"/v1/jobs", req, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown worker group: code %d, want 400", code)
+	}
+	if code := httpJSON(t, http.MethodDelete, base+"/v1/jobs/a", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel a: code %d", code)
+	}
+}

@@ -1,0 +1,108 @@
+package ctl
+
+import (
+	"net/http"
+	"strings"
+
+	"harmony/internal/master"
+	"harmony/internal/metrics"
+)
+
+// jobStates is the fixed label set of harmony_jobs; every state is
+// always emitted so dashboards see zeros instead of gaps.
+var jobStates = []master.JobStatus{
+	master.StatusPending,
+	master.StatusRunning,
+	master.StatusPaused,
+	master.StatusFinished,
+	master.StatusCanceled,
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cv := s.b.Cluster()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Workers: len(cv.Workers)})
+}
+
+// handleMetrics renders the control-plane inventory in the Prometheus
+// text exposition format: job counts by state, queue depth, live groups,
+// admission/migration/checkpoint counters, per-resource worker
+// utilization, and API request counts.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	jobs := s.b.ListJobs()
+	cv := s.b.Cluster()
+	c := s.b.Counters()
+
+	byState := make(map[string]int)
+	for _, j := range jobs {
+		byState[j.State]++
+	}
+	samples := make([]metrics.Sample, 0, 32)
+	for _, st := range jobStates {
+		samples = append(samples, metrics.Sample{
+			Name:  `harmony_jobs{state="` + st.String() + `"}`,
+			Help:  "Jobs known to the master, by lifecycle state.",
+			Type:  metrics.PromGauge,
+			Value: float64(byState[st.String()]),
+		})
+	}
+	samples = append(samples,
+		metrics.Sample{Name: "harmony_queue_depth",
+			Help: "Jobs held pending in the admission queue.",
+			Type: metrics.PromGauge, Value: float64(len(cv.Pending))},
+		metrics.Sample{Name: "harmony_workers",
+			Help: "Registered live workers.",
+			Type: metrics.PromGauge, Value: float64(len(cv.Workers))},
+		metrics.Sample{Name: "harmony_groups",
+			Help: "Live co-location groups derived from running jobs.",
+			Type: metrics.PromGauge, Value: float64(len(cv.Groups))},
+		metrics.Sample{Name: `harmony_admissions_total{path="initial"}`,
+			Help: "Jobs admitted, by path: initial (idle cluster) or arrival (placed into a running group by the IV-B4 rule).",
+			Type: metrics.PromCounter, Value: float64(c.AdmittedInitial)},
+		metrics.Sample{Name: `harmony_admissions_total{path="arrival"}`,
+			Type: metrics.PromCounter, Value: float64(c.AdmittedArrival)},
+		metrics.Sample{Name: "harmony_admissions_held_total",
+			Help: "Submissions the arrival rule held pending.",
+			Type: metrics.PromCounter, Value: float64(c.HeldPending)},
+		metrics.Sample{Name: "harmony_queue_drained_total",
+			Help: "Pending jobs later admitted by a queue drain.",
+			Type: metrics.PromCounter, Value: float64(c.QueueDrained)},
+		metrics.Sample{Name: "harmony_jobs_canceled_total",
+			Help: "Jobs canceled through the control plane.",
+			Type: metrics.PromCounter, Value: float64(c.Canceled)},
+		metrics.Sample{Name: "harmony_migrations_total",
+			Help: "Pause/resume group migrations (regroup decisions applied).",
+			Type: metrics.PromCounter, Value: float64(c.Migrations)},
+		metrics.Sample{Name: "harmony_recoveries_total",
+			Help: "Failure-triggered job restarts from background checkpoints.",
+			Type: metrics.PromCounter, Value: float64(c.Recoveries)},
+		metrics.Sample{Name: "harmony_checkpoint_failures_total",
+			Help: "Background model snapshots that failed and were dropped.",
+			Type: metrics.PromCounter, Value: float64(c.CheckpointFailures)},
+	)
+	// Per-resource executor utilization, best effort: a scrape must not
+	// fail because a worker is mid-restart.
+	if cpu, net, err := s.b.WorkerStats(); err == nil {
+		samples = append(samples,
+			metrics.Sample{
+				Name: `harmony_utilization{resource="` + strings.ToLower(metrics.CPU.String()) + `"}`,
+				Help: "Mean worker executor busy fraction per resource.",
+				Type: metrics.PromGauge, Value: cpu},
+			metrics.Sample{
+				Name: `harmony_utilization{resource="` + strings.ToLower(metrics.Net.String()) + `"}`,
+				Type: metrics.PromGauge, Value: net},
+		)
+	}
+	s.mu.Lock()
+	for _, route := range routes {
+		samples = append(samples, metrics.Sample{
+			Name:  `harmony_api_requests_total{route="` + route + `"}`,
+			Help:  "Control-plane API requests served, by route.",
+			Type:  metrics.PromCounter,
+			Value: float64(s.requests[route]),
+		})
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WritePrometheus(w, samples)
+}

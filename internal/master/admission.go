@@ -1,0 +1,535 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/ps"
+	"harmony/internal/rpc"
+	"harmony/internal/worker"
+	"harmony/internal/workload"
+)
+
+// Sentinel errors surfaced by the control plane; callers match them with
+// errors.Is to pick HTTP status codes.
+var (
+	// ErrDuplicateJob marks a submission that reuses a known job name.
+	ErrDuplicateJob = errors.New("duplicate job")
+	// ErrUnknownJob marks an operation on a name the master never saw.
+	ErrUnknownJob = errors.New("unknown job")
+	// ErrJobFinished marks a cancel of a job that already completed.
+	ErrJobFinished = errors.New("job already finished")
+	// ErrDraining rejects submissions while the master shuts down.
+	ErrDraining = errors.New("master is draining")
+	// ErrUnknownWorker marks a placement naming an unregistered worker.
+	ErrUnknownWorker = errors.New("unknown worker")
+)
+
+// Profile carries a submitter's cost estimates for a job that has not run
+// yet, in the scheduler's units (§IV-B1): aggregate COMP machine-seconds
+// and per-machine COMM seconds per iteration, plus memory footprint
+// parameters. The zero value means "unprofiled" — such a job cannot be
+// placed by the arrival rule while other jobs run and waits in the queue
+// until the cluster goes idle.
+type Profile struct {
+	CompSeconds float64
+	NetSeconds  float64
+	InputGB     float64
+	ModelGB     float64
+	WorkGB      float64
+}
+
+func (p Profile) info(name string) core.JobInfo {
+	return core.JobInfo{
+		ID:      name,
+		Comp:    p.CompSeconds,
+		Net:     p.NetSeconds,
+		InputGB: p.InputGB, ModelGB: p.ModelGB, WorkGB: p.WorkGB,
+		JVMHeapFactor: workload.JVMHeapFactor,
+	}
+}
+
+// Admission reports the outcome of an Enqueue.
+type Admission struct {
+	// Admitted is true when the job was placed and started immediately;
+	// false means it is held pending in the queue.
+	Admitted bool
+	// Workers is the group the job was placed on when admitted.
+	Workers []string
+}
+
+type pendingJob struct {
+	spec JobSpec
+	info core.JobInfo
+}
+
+// counters aggregates control-plane events; guarded by Master.mu.
+type counters struct {
+	admittedInitial    int64
+	admittedArrival    int64
+	heldPending        int64
+	queueDrained       int64
+	canceled           int64
+	migrations         int64
+	recoveries         int64
+	checkpointFailures int64
+}
+
+// Counters is a snapshot of the master's control-plane counters.
+type Counters struct {
+	// AdmittedInitial counts jobs started on an idle cluster.
+	AdmittedInitial int64
+	// AdmittedArrival counts jobs placed into a running group by the
+	// §IV-B4 arrival rule.
+	AdmittedArrival int64
+	// HeldPending counts submissions the arrival rule rejected.
+	HeldPending int64
+	// QueueDrained counts pending jobs later admitted by a drain pass.
+	QueueDrained int64
+	// Canceled counts operator cancellations (pending or running).
+	Canceled int64
+	// Migrations counts pause/resume group moves.
+	Migrations int64
+	// Recoveries counts failure-triggered job restarts.
+	Recoveries int64
+	// CheckpointFailures counts background model snapshots that failed
+	// and were dropped.
+	CheckpointFailures int64
+}
+
+// Counters snapshots the control-plane counters.
+func (m *Master) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Counters{
+		AdmittedInitial:    m.counters.admittedInitial,
+		AdmittedArrival:    m.counters.admittedArrival,
+		HeldPending:        m.counters.heldPending,
+		QueueDrained:       m.counters.queueDrained,
+		Canceled:           m.counters.canceled,
+		Migrations:         m.counters.migrations,
+		Recoveries:         m.counters.recoveries,
+		CheckpointFailures: m.counters.checkpointFailures,
+	}
+}
+
+// knownLocked reports whether a job name is taken by a deployed or a
+// pending job.
+func (m *Master) knownLocked(name string) bool {
+	if _, ok := m.jobs[name]; ok {
+		return true
+	}
+	for _, p := range m.pending {
+		if p.spec.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Enqueue submits a job through the online admission path of §IV-B4:
+// an idle cluster starts the job immediately on all workers; otherwise
+// the arrival rule (core.TryAddJob, 5% regrouping threshold) places it
+// into the running group that improves cluster utilization, or holds it
+// pending. Pending jobs are retried whenever a job completes, a
+// migration reshapes the plan, or a running job is canceled.
+func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
+	if spec.Name == "" || spec.Iterations <= 0 {
+		return Admission{}, errors.New("master: job needs a name and positive iterations")
+	}
+	info := prof.info(spec.Name)
+	m.mu.Lock()
+	if m.draining || m.closed {
+		m.mu.Unlock()
+		return Admission{}, ErrDraining
+	}
+	if m.knownLocked(spec.Name) {
+		m.mu.Unlock()
+		return Admission{}, fmt.Errorf("master: duplicate job %q: %w", spec.Name, ErrDuplicateJob)
+	}
+	group, initial, ok := m.admitLocked(info)
+	if !ok {
+		m.pending = append(m.pending, &pendingJob{spec: spec, info: info})
+		m.counters.heldPending++
+		m.mu.Unlock()
+		return Admission{}, nil
+	}
+	if initial {
+		m.counters.admittedInitial++
+	} else {
+		m.counters.admittedArrival++
+	}
+	m.mu.Unlock()
+	if err := m.submit(spec, group, info); err != nil {
+		return Admission{}, err
+	}
+	return Admission{Admitted: true, Workers: group}, nil
+}
+
+// admitLocked decides placement for a newly arrived job. On an idle
+// cluster the job forms the initial group across all workers. Otherwise
+// it is placed by TryAddJob into the running group that raises the
+// scheduling score — without moving any running job — or rejected, in
+// which case it waits (§IV-B4).
+func (m *Master) admitLocked(info core.JobInfo) (group []string, initial, ok bool) {
+	if len(m.workers) == 0 {
+		return nil, false, false
+	}
+	plan, members := m.livePlanLocked()
+	if len(plan.Groups) == 0 {
+		names := make([]string, len(m.workers))
+		for i, w := range m.workers {
+			names[i] = w.name
+		}
+		return names, true, true
+	}
+	next, placed := core.TryAddJob(plan, info, m.opts)
+	if !placed {
+		return nil, false, false
+	}
+	gi, found := next.FindJob(info.ID)
+	if !found || gi >= len(members) {
+		return nil, false, false
+	}
+	return members[gi], false, true
+}
+
+// livePlanLocked derives the scheduler's view of the running cluster:
+// jobs sharing a worker set form one group whose DoP is the set size.
+// The parallel slice maps each group to its worker names. Group and job
+// order are deterministic for a fixed cluster state.
+func (m *Master) livePlanLocked() (core.Plan, [][]string) {
+	type bucket struct {
+		idxs []int
+		jobs []core.JobInfo
+	}
+	byKey := make(map[string]*bucket)
+	var keys []string
+	for name, j := range m.jobs {
+		if j.status != StatusRunning {
+			continue
+		}
+		idxs := append([]int(nil), j.workers...)
+		sort.Ints(idxs)
+		key := fmt.Sprint(idxs)
+		b := byKey[key]
+		if b == nil {
+			b = &bucket{idxs: idxs}
+			byKey[key] = b
+			keys = append(keys, key)
+		}
+		b.jobs = append(b.jobs, m.jobInfoLocked(name, j))
+	}
+	sort.Strings(keys)
+	var plan core.Plan
+	var members [][]string
+	for _, key := range keys {
+		b := byKey[key]
+		sort.Slice(b.jobs, func(a, c int) bool { return b.jobs[a].ID < b.jobs[c].ID })
+		names := make([]string, len(b.idxs))
+		for i, wi := range b.idxs {
+			names[i] = m.workers[wi].name
+		}
+		plan.Groups = append(plan.Groups, core.Group{Jobs: b.jobs, Machines: len(b.idxs)})
+		members = append(members, names)
+	}
+	return plan, members
+}
+
+// jobInfoLocked is the scheduler's view of one deployed job: runtime
+// profiled metrics once enough samples accumulated, submission hints
+// before that.
+func (m *Master) jobInfoLocked(name string, j *job) core.JobInfo {
+	info := j.prof
+	info.ID = name
+	if met, ok := m.profiles.Metrics(name); ok && met.Profiled() {
+		info.Comp = met.CompMachineSeconds
+		info.Net = met.NetSeconds
+	}
+	return info
+}
+
+// drainQueue retries held jobs in FIFO order against the current plan,
+// deploying every one the arrival rule now accepts. It is called after
+// completions, migrations and cancellations.
+func (m *Master) drainQueue() {
+	for {
+		m.mu.Lock()
+		if m.closed || m.draining || len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		picked := -1
+		var group []string
+		var initial bool
+		for i, p := range m.pending {
+			if g, init, ok := m.admitLocked(p.info); ok {
+				picked, group, initial = i, g, init
+				break
+			}
+		}
+		if picked < 0 {
+			m.mu.Unlock()
+			return
+		}
+		p := m.pending[picked]
+		m.pending = append(m.pending[:picked], m.pending[picked+1:]...)
+		m.counters.queueDrained++
+		if initial {
+			m.counters.admittedInitial++
+		} else {
+			m.counters.admittedArrival++
+		}
+		m.mu.Unlock()
+		if err := m.submit(p.spec, group, p.info); err != nil {
+			// Deployment raced a worker failure or shutdown; requeue and
+			// let the next drain retry rather than spinning here.
+			m.mu.Lock()
+			if !m.closed && !m.draining {
+				m.pending = append(m.pending, p)
+			}
+			m.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Cancel removes a pending job from the queue, or stops a deployed job:
+// its barriers are released with Stop, its shards and model partitions
+// are dropped from the workers, and waiters are unblocked.
+func (m *Master) Cancel(name string) error {
+	m.mu.Lock()
+	for i, p := range m.pending {
+		if p.spec.Name == name {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.counters.canceled++
+			m.mu.Unlock()
+			return nil
+		}
+	}
+	j, ok := m.jobs[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("master: %w %q", ErrUnknownJob, name)
+	}
+	switch j.status {
+	case StatusFinished:
+		m.mu.Unlock()
+		return fmt.Errorf("master: cancel %q: %w", name, ErrJobFinished)
+	case StatusCanceled:
+		m.mu.Unlock()
+		return nil
+	}
+	j.status = StatusCanceled
+	m.counters.canceled++
+	for _, bs := range j.barriers {
+		for _, ch := range bs.waiters {
+			ch <- worker.Stop
+		}
+	}
+	j.barriers = make(map[int]*barrierState)
+	close(j.finishedCh)
+	refs := make([]workerRef, len(j.workers))
+	for i, wi := range j.workers {
+		refs[i] = m.workers[wi]
+	}
+	m.mu.Unlock()
+
+	// Best-effort teardown: drop the job's shards and model partitions.
+	for _, r := range refs {
+		_, _ = rpc.Invoke[worker.DropJobArgs, worker.Ack](r.client,
+			worker.MethodDropJob, worker.DropJobArgs{Job: name}, time.Minute)
+		_, _ = rpc.Invoke[ps.DropArgs, ps.Ack](r.client,
+			ps.MethodDrop, ps.DropArgs{Job: name}, time.Minute)
+	}
+	go m.drainQueue()
+	return nil
+}
+
+// JobView is the status surface of one job for the control plane.
+type JobView struct {
+	Name      string
+	State     string
+	Iteration int
+	Loss      float64
+	Workers   []string
+	// CompSeconds and NetSeconds are the job's current scheduler metrics
+	// (profiled once Profiled is true, submission hints before).
+	CompSeconds float64
+	NetSeconds  float64
+	Profiled    bool
+	// CheckpointIter is the iteration of the latest background snapshot.
+	CheckpointIter int
+}
+
+func (m *Master) jobViewLocked(name string, j *job) JobView {
+	names := make([]string, len(j.workers))
+	for i, wi := range j.workers {
+		names[i] = m.workers[wi].name
+	}
+	info := m.jobInfoLocked(name, j)
+	met, ok := m.profiles.Metrics(name)
+	return JobView{
+		Name:           name,
+		State:          j.status.String(),
+		Iteration:      j.iter,
+		Loss:           j.loss,
+		Workers:        names,
+		CompSeconds:    info.Comp,
+		NetSeconds:     info.Net,
+		Profiled:       ok && met.Profiled(),
+		CheckpointIter: j.checkpointIter,
+	}
+}
+
+// ListJobs reports every deployed and pending job, sorted by name.
+func (m *Master) ListJobs() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	views := make([]JobView, 0, len(m.jobs)+len(m.pending))
+	for name, j := range m.jobs {
+		views = append(views, m.jobViewLocked(name, j))
+	}
+	for _, p := range m.pending {
+		views = append(views, JobView{
+			Name:        p.spec.Name,
+			State:       StatusPending.String(),
+			CompSeconds: p.info.Comp,
+			NetSeconds:  p.info.Net,
+		})
+	}
+	sort.Slice(views, func(a, b int) bool { return views[a].Name < views[b].Name })
+	return views
+}
+
+// Job reports one job's status; ok is false for unknown names.
+func (m *Master) Job(name string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[name]; ok {
+		return m.jobViewLocked(name, j), true
+	}
+	for _, p := range m.pending {
+		if p.spec.Name == name {
+			return JobView{
+				Name:        name,
+				State:       StatusPending.String(),
+				CompSeconds: p.info.Comp,
+				NetSeconds:  p.info.Net,
+			}, true
+		}
+	}
+	return JobView{}, false
+}
+
+// GroupView is one live co-location group: the worker set and the jobs
+// sharing it.
+type GroupView struct {
+	Workers []string
+	Jobs    []string
+}
+
+// ClusterView is the control plane's cluster status: registered workers,
+// the current placement derived from running jobs, and the held queue.
+type ClusterView struct {
+	Workers []string
+	Groups  []GroupView
+	Pending []string
+}
+
+// Cluster reports the cluster status surface.
+func (m *Master) Cluster() ClusterView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cv := ClusterView{Workers: make([]string, len(m.workers))}
+	for i, w := range m.workers {
+		cv.Workers[i] = w.name
+	}
+	plan, members := m.livePlanLocked()
+	for gi, g := range plan.Groups {
+		gv := GroupView{Workers: members[gi]}
+		for _, j := range g.Jobs {
+			gv.Jobs = append(gv.Jobs, j.ID)
+		}
+		cv.Groups = append(cv.Groups, gv)
+	}
+	for _, p := range m.pending {
+		cv.Pending = append(cv.Pending, p.spec.Name)
+	}
+	return cv
+}
+
+// QueueDepth reports the number of jobs held pending.
+func (m *Master) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Shutdown drains the control plane for a clean exit: it stops admitting
+// new work, snapshots every running job's model as a final checkpoint
+// (best effort, within the timeout per job), and closes the master. It
+// returns the names of the jobs checkpointed.
+func (m *Master) Shutdown(timeout time.Duration) []string {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	type target struct {
+		name    string
+		servers []string
+		size    int
+		iter    int
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.pending = nil
+	var targets []target
+	for name, j := range m.jobs {
+		if j.status != StatusRunning || j.iter == 0 {
+			continue
+		}
+		targets = append(targets, target{
+			name:    name,
+			servers: m.serverAddrsLocked(j),
+			size:    j.spec.Config.ModelSize(),
+			iter:    j.iter,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(targets, func(a, b int) bool { return targets[a].name < targets[b].name })
+
+	var saved []string
+	for _, t := range targets {
+		snap, err := snapshotModel(t.servers, t.name, t.size, timeout)
+		m.mu.Lock()
+		if err != nil {
+			m.counters.checkpointFailures++
+			m.mu.Unlock()
+			continue
+		}
+		if j, ok := m.jobs[t.name]; ok && t.iter >= j.checkpointIter {
+			j.checkpoint = snap
+			j.checkpointIter = t.iter
+			saved = append(saved, t.name)
+		}
+		m.mu.Unlock()
+	}
+	m.Close()
+	return saved
+}
+
+func snapshotModel(servers []string, name string, size int, timeout time.Duration) ([]float64, error) {
+	client, err := ps.NewClient(servers, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	return client.Snapshot(name, size)
+}

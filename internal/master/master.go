@@ -35,12 +35,34 @@ type JobSpec struct {
 // JobStatus reports a job's lifecycle.
 type JobStatus int
 
-// Job states (§III).
+// Job states (§III). StatusPending and StatusCanceled extend the paper's
+// lifecycle for the online control plane: pending jobs wait in the
+// admission queue, canceled jobs were stopped by an operator.
 const (
 	StatusRunning JobStatus = iota + 1
 	StatusPaused
 	StatusFinished
+	StatusPending
+	StatusCanceled
 )
+
+// String names the state for status surfaces and metrics labels.
+func (s JobStatus) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusPaused:
+		return "paused"
+	case StatusFinished:
+		return "finished"
+	case StatusPending:
+		return "pending"
+	case StatusCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
 
 type workerRef struct {
 	name   string
@@ -58,6 +80,16 @@ type job struct {
 	workers []int // indexes into Master.workers
 	status  JobStatus
 	iter    int // last completed iteration (max over barriers)
+
+	// prof carries the submitter's profile hints (§IV-B1 shape); live
+	// profiled metrics supersede it once MinSamples have accumulated.
+	prof core.JobInfo
+
+	// epoch counts deployments of this job. Recovery and migration tear
+	// a placement down while its stragglers may still have barrier or
+	// done RPCs in flight; those echo the old epoch and are discarded so
+	// they cannot pollute the new placement's barrier counts.
+	epoch int
 
 	barriers map[int]*barrierState
 	doneFrom map[string]bool
@@ -81,8 +113,11 @@ type Master struct {
 	mu       sync.Mutex
 	workers  []workerRef
 	jobs     map[string]*job
+	pending  []*pendingJob
 	profiles *profile.Store
 	opts     core.Options
+	counters counters
+	draining bool
 	closed   bool
 }
 
@@ -163,15 +198,24 @@ func (m *Master) Workers() []string {
 }
 
 // Submit loads and starts a job across the given workers (all registered
-// workers when group is nil).
+// workers when group is nil), bypassing the admission queue.
 func (m *Master) Submit(spec JobSpec, group []string) error {
+	return m.submit(spec, group, core.JobInfo{ID: spec.Name})
+}
+
+// submit is Submit with the profile hints the admission path carries.
+func (m *Master) submit(spec JobSpec, group []string, prof core.JobInfo) error {
 	if spec.Name == "" || spec.Iterations <= 0 {
 		return errors.New("master: job needs a name and positive iterations")
 	}
 	m.mu.Lock()
-	if _, dup := m.jobs[spec.Name]; dup {
+	if m.draining || m.closed {
 		m.mu.Unlock()
-		return fmt.Errorf("master: duplicate job %q", spec.Name)
+		return ErrDraining
+	}
+	if m.knownLocked(spec.Name) {
+		m.mu.Unlock()
+		return fmt.Errorf("master: duplicate job %q: %w", spec.Name, ErrDuplicateJob)
 	}
 	idxs, err := m.workerIndexesLocked(group)
 	if err != nil {
@@ -179,7 +223,7 @@ func (m *Master) Submit(spec JobSpec, group []string) error {
 		return err
 	}
 	j := &job{
-		spec: spec, workers: idxs, status: StatusRunning,
+		spec: spec, workers: idxs, status: StatusRunning, prof: prof, epoch: 1,
 		barriers:   make(map[int]*barrierState),
 		doneFrom:   make(map[string]bool),
 		pausedCh:   make(chan struct{}),
@@ -218,7 +262,7 @@ func (m *Master) workerIndexesLocked(group []string) ([]int, error) {
 			}
 		}
 		if found < 0 {
-			return nil, fmt.Errorf("master: unknown worker %q", name)
+			return nil, fmt.Errorf("master: %w %q", ErrUnknownWorker, name)
 		}
 		idxs = append(idxs, found)
 	}
@@ -232,6 +276,7 @@ func (m *Master) workerIndexesLocked(group []string) ([]int, error) {
 // carries checkpointed model parameters for migrations.
 func (m *Master) deploy(j *job, restore []float64, fromIter int) error {
 	m.mu.Lock()
+	epoch := j.epoch
 	refs := make([]workerRef, len(j.workers))
 	for i, wi := range j.workers {
 		refs[i] = m.workers[wi]
@@ -259,6 +304,7 @@ func (m *Master) deploy(j *job, restore []float64, fromIter int) error {
 		if _, err := rpc.Invoke[worker.StartJobArgs, worker.Ack](r.client,
 			worker.MethodStartJob, worker.StartJobArgs{
 				Job: j.spec.Name, FromIteration: fromIter, Iterations: j.spec.Iterations,
+				Epoch: epoch,
 			}, time.Minute); err != nil {
 			return fmt.Errorf("master: start %s on %s: %w", j.spec.Name, r.name, err)
 		}
@@ -272,6 +318,25 @@ func (m *Master) handleBarrier(a worker.BarrierArgs) (worker.BarrierReply, error
 	m.mu.Lock()
 	j, ok := m.jobs[a.Job]
 	if !ok {
+		m.mu.Unlock()
+		return worker.BarrierReply{Directive: worker.Stop}, nil
+	}
+	if j.status == StatusCanceled || j.status == StatusFinished {
+		// A canceled job's stragglers must not park at a barrier no
+		// group-mate will ever reach.
+		m.mu.Unlock()
+		return worker.BarrierReply{Directive: worker.Stop}, nil
+	}
+	if a.Epoch != j.epoch {
+		// Straggler from a placement that recovery or migration already
+		// tore down; counting it would desync the new group's barrier.
+		m.mu.Unlock()
+		return worker.BarrierReply{Directive: worker.Stop}, nil
+	}
+	if m.draining || m.closed {
+		// Wind-down: a barrier call that parked here after Close released
+		// the existing waiters would pin the RPC server's handler wait
+		// group until the barrier timeout.
 		m.mu.Unlock()
 		return worker.BarrierReply{Directive: worker.Stop}, nil
 	}
@@ -324,10 +389,15 @@ func (m *Master) handleJobDone(a worker.JobDoneArgs) (worker.Ack, error) {
 	if !ok {
 		return worker.Ack{}, nil
 	}
+	if a.Epoch != j.epoch {
+		return worker.Ack{}, nil
+	}
 	j.doneFrom[a.Worker] = true
-	if len(j.doneFrom) >= len(j.workers) && j.status != StatusFinished {
+	if len(j.doneFrom) >= len(j.workers) && j.status != StatusFinished && j.status != StatusCanceled {
 		j.status = StatusFinished
 		close(j.finishedCh)
+		// A completion frees capacity: drain the admission queue (§IV-B4).
+		go m.drainQueue()
 	}
 	return worker.Ack{}, nil
 }
@@ -419,6 +489,8 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 	j.status = StatusRunning
 	j.pausedCh = make(chan struct{})
 	j.barriers = make(map[int]*barrierState)
+	j.epoch++ // the pre-migration placement must not reach the new barriers
+	m.counters.migrations++
 	m.mu.Unlock()
 
 	// Tear the old placement down; shards and model partitions are
@@ -429,7 +501,12 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 		_, _ = rpc.Invoke[ps.DropArgs, ps.Ack](r.client,
 			ps.MethodDrop, ps.DropArgs{Job: name}, time.Minute)
 	}
-	return m.deploy(j, checkpoint, fromIter)
+	if err := m.deploy(j, checkpoint, fromIter); err != nil {
+		return err
+	}
+	// A regroup reshapes the plan; retry held jobs against it (§IV-B4).
+	go m.drainQueue()
+	return nil
 }
 
 // serverAddrsLocked lists the PS addresses of a job's current group.

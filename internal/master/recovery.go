@@ -27,11 +27,16 @@ func (m *Master) maybeCheckpoint(j *job, iteration int) {
 	go func() {
 		client, err := ps.NewClient(servers, time.Minute)
 		if err != nil {
-			return // servers mid-teardown; the next checkpoint will catch up
+			// Servers mid-teardown; the next checkpoint will catch up.
+			// Count the loss so dropped snapshots stay visible (/metrics
+			// exposes harmony_checkpoint_failures_total).
+			m.checkpointFailed()
+			return
 		}
 		defer client.Close()
 		snap, err := client.Snapshot(name, size)
 		if err != nil {
+			m.checkpointFailed()
 			return
 		}
 		m.mu.Lock()
@@ -41,6 +46,13 @@ func (m *Master) maybeCheckpoint(j *job, iteration int) {
 		}
 		m.mu.Unlock()
 	}()
+}
+
+// checkpointFailed counts a background snapshot that was dropped.
+func (m *Master) checkpointFailed() {
+	m.mu.Lock()
+	m.counters.checkpointFailures++
+	m.mu.Unlock()
 }
 
 // Checkpoint reports the job's most recent background snapshot and the
@@ -149,6 +161,8 @@ func (m *Master) RecoverJob(name string, group []string) error {
 	j.status = StatusRunning
 	j.barriers = make(map[int]*barrierState)
 	j.doneFrom = make(map[string]bool)
+	j.epoch++ // stragglers of the failed placement are now stale
+	m.counters.recoveries++
 	m.mu.Unlock()
 
 	// Best-effort cleanup on survivors that hosted the old placement.

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus sample types accepted by WritePrometheus.
+const (
+	PromCounter = "counter"
+	PromGauge   = "gauge"
+)
+
+// Sample is one Prometheus time-series value in the text exposition
+// format (version 0.0.4). Name is the full series name and may carry a
+// label suffix, e.g. `harmony_jobs{state="running"}`; all samples whose
+// names share the part before '{' belong to one metric family and are
+// announced by a single pair of # HELP / # TYPE lines.
+type Sample struct {
+	Name  string
+	Help  string // family help text; the first non-empty one wins
+	Type  string // PromCounter or PromGauge (defaults to gauge)
+	Value float64
+}
+
+// Family returns the metric-family name: the series name with any label
+// suffix stripped.
+func (s Sample) Family() string {
+	if i := strings.IndexByte(s.Name, '{'); i >= 0 {
+		return s.Name[:i]
+	}
+	return s.Name
+}
+
+// WritePrometheus renders the samples in the Prometheus text exposition
+// format. Families appear in first-seen order and series keep the order
+// they were passed in, so output is deterministic for a fixed input.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	written := make(map[string]bool, len(samples))
+	for i, s := range samples {
+		fam := s.Family()
+		if fam == "" {
+			return fmt.Errorf("metrics: sample %d has an empty name", i)
+		}
+		if !written[fam] {
+			written[fam] = true
+			help := s.Help
+			// The family is announced once; later samples may carry the
+			// help text when the first one omits it.
+			if help == "" {
+				for _, t := range samples[i+1:] {
+					if t.Family() == fam && t.Help != "" {
+						help = t.Help
+						break
+					}
+				}
+			}
+			typ := s.Type
+			if typ == "" {
+				typ = PromGauge
+			}
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeHelp applies the exposition-format escaping for HELP lines:
+// backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

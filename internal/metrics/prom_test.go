@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGroupsFamilies(t *testing.T) {
+	var b strings.Builder
+	err := WritePrometheus(&b, []Sample{
+		{Name: `harmony_jobs{state="running"}`, Help: "Jobs by state.", Type: PromGauge, Value: 2},
+		{Name: `harmony_jobs{state="pending"}`, Type: PromGauge, Value: 1},
+		{Name: "harmony_queue_depth", Help: "Admission queue depth.", Type: PromGauge, Value: 1},
+		{Name: "harmony_migrations_total", Help: "Pause/resume migrations.", Type: PromCounter, Value: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP harmony_jobs Jobs by state.
+# TYPE harmony_jobs gauge
+harmony_jobs{state="running"} 2
+harmony_jobs{state="pending"} 1
+# HELP harmony_queue_depth Admission queue depth.
+# TYPE harmony_queue_depth gauge
+harmony_queue_depth 1
+# HELP harmony_migrations_total Pause/resume migrations.
+# TYPE harmony_migrations_total counter
+harmony_migrations_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusHelpFromLaterSample(t *testing.T) {
+	var b strings.Builder
+	err := WritePrometheus(&b, []Sample{
+		{Name: `x{a="1"}`, Value: 1},
+		{Name: `x{a="2"}`, Help: "an x", Value: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP x an x\n") {
+		t.Errorf("help from later sample not used:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE x gauge") != 1 {
+		t.Errorf("family announced more than once:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, []Sample{
+		{Name: "y", Help: "line1\nline2 \\ backslash", Value: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP y line1\nline2 \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", b.String())
+	}
+}
+
+func TestWritePrometheusValueFormatting(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, []Sample{
+		{Name: "v", Value: 0.25},
+		{Name: "n", Value: 12},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "v 0.25\n") || !strings.Contains(b.String(), "n 12\n") {
+		t.Errorf("unexpected value formatting:\n%s", b.String())
+	}
+}
+
+func TestWritePrometheusEmptyName(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, []Sample{{Name: ""}}); err == nil {
+		t.Error("empty sample name accepted")
+	}
+}

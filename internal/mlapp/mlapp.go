@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 )
 
 // Kind names an algorithm.
@@ -39,6 +40,23 @@ func (k Kind) String() string {
 		return "LDA"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps an algorithm name ("mlr", "Lasso", "NMF", "lda" — case
+// insensitive) to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "mlr":
+		return MLR, nil
+	case "lasso":
+		return Lasso, nil
+	case "nmf":
+		return NMF, nil
+	case "lda":
+		return LDA, nil
+	default:
+		return 0, fmt.Errorf("mlapp: unknown algorithm %q", s)
 	}
 }
 

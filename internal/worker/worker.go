@@ -60,6 +60,10 @@ type StartJobArgs struct {
 	// bound.
 	FromIteration int
 	Iterations    int
+	// Epoch identifies the placement this run belongs to; the worker
+	// echoes it on barrier and done calls so the master can discard
+	// stragglers from a torn-down placement.
+	Epoch int
 }
 
 // DropJobArgs stops and unloads a job.
@@ -91,6 +95,9 @@ type BarrierArgs struct {
 	Job       string
 	Worker    string
 	Iteration int
+	// Epoch is the placement epoch from StartJobArgs; mismatched calls
+	// are stale and answered with Stop.
+	Epoch int
 	// Measured subtask seconds for profiling (§IV-B1).
 	CompSeconds float64
 	NetSeconds  float64
@@ -117,6 +124,7 @@ const (
 type JobDoneArgs struct {
 	Job    string
 	Worker string
+	Epoch  int
 }
 
 // Ack is an empty reply.
@@ -287,13 +295,13 @@ func (w *Worker) handleStartJob(a StartJobArgs) (Ack, error) {
 	w.mu.Unlock()
 
 	w.wg.Add(1)
-	go w.drive(a.Job, st, a.FromIteration, a.Iterations)
+	go w.drive(a.Job, st, a.FromIteration, a.Iterations, a.Epoch)
 	return Ack{}, nil
 }
 
 // drive runs the job's PULL→COMP→PUSH cycle through the subtask executor
 // until convergence, a pause directive, or shutdown.
-func (w *Worker) drive(job string, st *jobState, from, iterations int) {
+func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 	defer w.wg.Done()
 	defer func() {
 		w.mu.Lock()
@@ -359,7 +367,7 @@ func (w *Worker) drive(job string, st *jobState, from, iterations int) {
 
 		// Iteration barrier with the master (Fig. 7's synchronizer).
 		reply, err := rpc.Invoke[BarrierArgs, BarrierReply](w.master, MethodBarrier, BarrierArgs{
-			Job: job, Worker: w.name, Iteration: iter,
+			Job: job, Worker: w.name, Iteration: iter, Epoch: epoch,
 			CompSeconds: compSecs, NetSeconds: netSecs, Loss: loss,
 		}, time.Minute)
 		if err != nil {
@@ -371,7 +379,7 @@ func (w *Worker) drive(job string, st *jobState, from, iterations int) {
 		}
 	}
 	_, _ = rpc.Invoke[JobDoneArgs, Ack](w.master, MethodJobDone,
-		JobDoneArgs{Job: job, Worker: w.name}, time.Minute)
+		JobDoneArgs{Job: job, Worker: w.name, Epoch: epoch}, time.Minute)
 }
 
 // materializeShard assembles the shard from the block store, paying

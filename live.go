@@ -3,6 +3,7 @@ package harmony
 import (
 	"time"
 
+	"harmony/internal/ctl"
 	"harmony/internal/master"
 	"harmony/internal/worker"
 )
@@ -115,6 +116,83 @@ func (m *Master) Utilization() (cpu, net float64, err error) {
 
 // Close shuts the master down, releasing any blocked workers.
 func (m *Master) Close() { m.m.Close() }
+
+// Shutdown drains the master for a clean exit: it stops admitting new
+// jobs, snapshots every running job's model as a final checkpoint (best
+// effort, within the timeout per job), and closes the master. It returns
+// the names of the jobs checkpointed.
+func (m *Master) Shutdown(timeout time.Duration) []string {
+	return m.m.Shutdown(timeout)
+}
+
+// ControlPlane is a running HTTP control-plane endpoint; see ServeAPI.
+type ControlPlane struct {
+	s *ctl.Server
+}
+
+// ServeAPI mounts the HTTP/JSON control plane for this master on addr
+// ("127.0.0.1:0" for an ephemeral port): job submission through the
+// online admission queue, status, cancellation, /healthz and Prometheus
+// /metrics. See DESIGN.md §7 for the API surface.
+func (m *Master) ServeAPI(addr string) (*ControlPlane, error) {
+	s := ctl.New(m.m)
+	if err := s.Start(addr); err != nil {
+		return nil, err
+	}
+	return &ControlPlane{s: s}, nil
+}
+
+// Addr is the control plane's listening address.
+func (c *ControlPlane) Addr() string { return c.s.Addr() }
+
+// Close stops the control-plane listener; the master keeps running.
+func (c *ControlPlane) Close() error { return c.s.Close() }
+
+// Admission reports the outcome of an Enqueue.
+type Admission struct {
+	// Admitted is true when the job was placed and started immediately;
+	// false means it is held pending in the admission queue.
+	Admitted bool
+	// Workers is the group the job runs on when admitted.
+	Workers []string
+}
+
+// Enqueue submits a training job through the online admission path of
+// §IV-B4: an idle cluster starts it immediately, otherwise the arrival
+// rule places it into the running group that improves cluster
+// utilization or holds it pending until a completion or regroup frees
+// capacity. hints carries the job's estimated scheduler metrics
+// (CompSeconds, NetSeconds, memory sizes); its ID field is ignored.
+func (m *Master) Enqueue(t Training, hints Job) (Admission, error) {
+	cfg, err := t.Config.internal()
+	if err != nil {
+		return Admission{}, err
+	}
+	adm, err := m.m.Enqueue(master.JobSpec{
+		Name:       t.Name,
+		Config:     cfg,
+		Iterations: t.Iterations,
+		Alpha:      t.Alpha,
+		Seed:       t.Seed,
+	}, master.Profile{
+		CompSeconds: hints.CompSeconds,
+		NetSeconds:  hints.NetSeconds,
+		InputGB:     hints.InputGB,
+		ModelGB:     hints.ModelGB,
+		WorkGB:      hints.WorkGB,
+	})
+	if err != nil {
+		return Admission{}, err
+	}
+	return Admission{Admitted: adm.Admitted, Workers: adm.Workers}, nil
+}
+
+// Cancel removes a pending job from the admission queue or stops a
+// running job, dropping its state from the workers.
+func (m *Master) Cancel(name string) error { return m.m.Cancel(name) }
+
+// QueueDepth reports how many jobs are held in the admission queue.
+func (m *Master) QueueDepth() int { return m.m.QueueDepth() }
 
 // Worker is a live worker process handle.
 type Worker struct {
