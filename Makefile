@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race ctl-smoke bench-smoke bench-report
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke bench-smoke bench-report bench-comm
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -30,12 +30,24 @@ race:
 ctl-smoke:
 	$(GO) test -race ./internal/ctl/...
 
+## comm-smoke: short race-enabled pass over the striped pull/push data
+## plane (concurrent jobs, snapshots mid-push)
+comm-smoke:
+	$(GO) test -race -run 'TestCommPathRaceSmoke' ./internal/ps/
+
 ## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
 bench-smoke:
 	$(GO) test ./internal/core/ -run XXX -bench BenchmarkScheduleLarge -benchmem -benchtime 3x
 	$(GO) test ./internal/sim/ -run XXX -bench BenchmarkRunHarmonyBase -benchmem -benchtime 3x
+	$(GO) test ./internal/ps/ -run XXX -bench BenchmarkPullPush -benchmem -benchtime 3x
 	$(GO) test . -run XXX -bench BenchmarkFig10Parallel -benchtime 1x
 
 ## bench-report: machine-readable speedup report (BENCH_schedule.json)
 bench-report:
 	$(GO) run ./cmd/harmony-bench -bench
+
+## bench-comm: data-plane report — binary codec vs gob baseline
+## (BENCH_commpath.json)
+bench-comm:
+	$(GO) test ./internal/ps/ -run XXX -bench 'BenchmarkPullPush' -benchmem
+	$(GO) run ./cmd/harmony-bench -bench-comm

@@ -5,6 +5,7 @@
 //	harmony-bench -run fig10 -seed 3
 //	harmony-bench -parallel 1 -run fig10   # single-threaded baseline
 //	harmony-bench -bench                   # speedup report + BENCH_schedule.json
+//	harmony-bench -bench-comm              # data-plane report + BENCH_commpath.json
 //	harmony-bench -list
 package main
 
@@ -97,12 +98,17 @@ func run(args []string) error {
 		"worker count for sweeps and the scheduler search (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 	bench := fs.Bool("bench", false, "measure scheduler and sweep speedups, write BENCH_schedule.json, and exit")
 	benchOut := fs.String("bench-out", "BENCH_schedule.json", "output path for -bench results")
+	benchComm := fs.Bool("bench-comm", false, "measure the pull/push data plane against the gob baseline, write BENCH_commpath.json, and exit")
+	benchCommOut := fs.String("bench-comm-out", "BENCH_commpath.json", "output path for -bench-comm results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	exp.SetConcurrency(*parallelism)
 	if *bench {
 		return runBench(*benchOut)
+	}
+	if *benchComm {
+		return runBenchComm(*benchCommOut)
 	}
 	exps := experiments()
 	if *list {

@@ -30,6 +30,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("harmony-master", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "address to serve workers on")
 	api := fs.String("api", "127.0.0.1:8080", "address to serve the HTTP control plane on (empty disables)")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/ on the control plane")
 	workers := fs.Int("workers", 2, "number of workers to wait for")
 	wait := fs.Duration("wait", 5*time.Minute, "how long to wait for workers")
 	drain := fs.Duration("drain", 30*time.Second, "per-job checkpoint budget during shutdown")
@@ -52,13 +53,20 @@ func run(args []string) error {
 
 	var cp *harmony.ControlPlane
 	if *api != "" {
-		cp, err = m.ServeAPI(*api)
+		var apiOpts []harmony.APIOption
+		if *pprofOn {
+			apiOpts = append(apiOpts, harmony.WithPprof())
+		}
+		cp, err = m.ServeAPI(*api, apiOpts...)
 		if err != nil {
 			return err
 		}
 		defer cp.Close()
 		fmt.Printf("control plane on http://%s (try: harmonyctl -addr http://%s cluster)\n",
 			cp.Addr(), cp.Addr())
+		if *pprofOn {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", cp.Addr())
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"regexp"
 	"sync"
 	"time"
 
 	"harmony/internal/master"
+	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
 )
 
@@ -40,6 +42,7 @@ type Backend interface {
 	Cluster() master.ClusterView
 	Counters() master.Counters
 	WorkerStats() (cpu, net float64, err error)
+	CommStats() metrics.CommSnapshot
 }
 
 var _ Backend = (*master.Master)(nil)
@@ -84,6 +87,18 @@ func New(b Backend) *Server {
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// EnablePprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/ on the control-plane mux. Call before Start; it is
+// flag-guarded in the binaries (off by default) because the profile
+// endpoints expose process internals and can burn CPU on demand.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func (s *Server) handle(route string, h http.HandlerFunc) {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"harmony/internal/master"
+	"harmony/internal/metrics"
 )
 
 // fakeBackend scripts the master's control-plane surface for handler
@@ -20,6 +21,7 @@ type fakeBackend struct {
 	cancelErr  error
 	cluster    master.ClusterView
 	counters   master.Counters
+	comm       metrics.CommSnapshot
 	statsErr   error
 	lastSpec   master.JobSpec
 	lastProf   master.Profile
@@ -64,6 +66,10 @@ func (f *fakeBackend) Counters() master.Counters   { return f.counters }
 
 func (f *fakeBackend) WorkerStats() (float64, float64, error) {
 	return 0.75, 0.5, f.statsErr
+}
+
+func (f *fakeBackend) CommStats() metrics.CommSnapshot {
+	return f.comm
 }
 
 func doReq(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
@@ -294,6 +300,10 @@ func TestMetricsExposition(t *testing.T) {
 			QueueDrained: 1, Canceled: 1, Migrations: 4, Recoveries: 5,
 			CheckpointFailures: 6,
 		},
+		comm: metrics.CommSnapshot{
+			Pulls: 10, Pushes: 9, PullBytes: 4096, PushBytes: 2048,
+			PullSeconds: 1.5, PushSeconds: 0.5,
+		},
 	}
 	s := New(fb)
 	// A prior request shows up in the per-route counter.
@@ -323,6 +333,12 @@ func TestMetricsExposition(t *testing.T) {
 		`harmony_checkpoint_failures_total 6`,
 		`harmony_utilization{resource="cpu"} 0.75`,
 		`harmony_utilization{resource="network"} 0.5`,
+		`harmony_comm_ops_total{op="pull"} 10`,
+		`harmony_comm_ops_total{op="push"} 9`,
+		`harmony_comm_bytes_total{op="pull"} 4096`,
+		`harmony_comm_bytes_total{op="push"} 2048`,
+		`harmony_comm_seconds_total{op="pull"} 1.5`,
+		`harmony_comm_seconds_total{op="push"} 0.5`,
 		`harmony_api_requests_total{route="GET /v1/jobs"} 1`,
 		"# TYPE harmony_jobs gauge",
 		"# TYPE harmony_admissions_total counter",
@@ -330,6 +346,22 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(body, want+"\n") && !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)
 		}
+	}
+}
+
+func TestPprofFlagGuarded(t *testing.T) {
+	// Without EnablePprof the profile routes must not exist.
+	s := New(&fakeBackend{})
+	if w := doReq(t, s, http.MethodGet, "/debug/pprof/", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("pprof served without EnablePprof: %d", w.Code)
+	}
+	s = New(&fakeBackend{})
+	s.EnablePprof()
+	if w := doReq(t, s, http.MethodGet, "/debug/pprof/", ""); w.Code != http.StatusOK {
+		t.Fatalf("pprof index status = %d", w.Code)
+	}
+	if w := doReq(t, s, http.MethodGet, "/debug/pprof/cmdline", ""); w.Code != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", w.Code)
 	}
 }
 

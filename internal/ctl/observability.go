@@ -92,6 +92,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Type: metrics.PromGauge, Value: net},
 		)
 	}
+	// Data-plane traffic (pull/push ops, bytes, latency) aggregated
+	// across the cluster: this process plus every worker process.
+	samples = append(samples, metrics.CommSamples(s.b.CommStats())...)
 	s.mu.Lock()
 	for _, route := range routes {
 		samples = append(samples, metrics.Sample{

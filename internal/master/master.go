@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
 	"harmony/internal/profile"
 	"harmony/internal/ps"
@@ -585,6 +586,33 @@ func (m *Master) WorkerStats() (cpu, net float64, err error) {
 		net += st.NetUtil
 	}
 	return cpu / float64(len(refs)), net / float64(len(refs)), nil
+}
+
+// CommStats sums data-plane traffic across the cluster: this process's
+// counters (checkpoints and snapshots ride the same data plane) plus
+// every worker's, deduplicated by owning process so in-process workers —
+// which share this process's global counters — are counted once. Worker
+// stats are best effort: a worker mid-restart is skipped, not an error.
+func (m *Master) CommStats() metrics.CommSnapshot {
+	m.mu.Lock()
+	refs := append([]workerRef(nil), m.workers...)
+	m.mu.Unlock()
+	perProcess := map[string]metrics.CommSnapshot{
+		metrics.ProcessID(): metrics.Comm.Snapshot(),
+	}
+	for _, r := range refs {
+		st, err := rpc.Invoke[worker.StatsArgs, worker.StatsReply](r.client,
+			worker.MethodStats, worker.StatsArgs{}, time.Minute)
+		if err != nil {
+			continue
+		}
+		perProcess[st.CommProcess] = st.Comm
+	}
+	var sum metrics.CommSnapshot
+	for _, s := range perProcess {
+		sum = sum.Add(s)
+	}
+	return sum
 }
 
 // Close releases all barriers with Stop and shuts the master down.

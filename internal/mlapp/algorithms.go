@@ -22,8 +22,12 @@ func (m *mlr) InitModel(rng *rand.Rand) []float64 {
 }
 
 func (m *mlr) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	return m.ComputeInto(nil, model, shard, rng)
+}
+
+func (m *mlr) ComputeInto(dst, model []float64, shard *Shard, rng *rand.Rand) []float64 {
 	c := m.cfg.withDefaults()
-	grad := make([]float64, len(model))
+	grad := deltaBuf(dst, len(model))
 	probs := make([]float64, c.Classes)
 	for _, ex := range shard.Examples {
 		softmax(model, ex.X, c, probs)
@@ -90,8 +94,12 @@ func (l *lasso) InitModel(rng *rand.Rand) []float64 {
 }
 
 func (l *lasso) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	return l.ComputeInto(nil, model, shard, rng)
+}
+
+func (l *lasso) ComputeInto(dst, model []float64, shard *Shard, rng *rand.Rand) []float64 {
 	c := l.cfg.withDefaults()
-	grad := make([]float64, len(model))
+	grad := deltaBuf(dst, len(model))
 	n := float64(maxInt(len(shard.Examples), 1))
 	for _, ex := range shard.Examples {
 		pred := dot(model, ex.X)
@@ -161,8 +169,12 @@ func (n *nmf) InitModel(rng *rand.Rand) []float64 {
 }
 
 func (n *nmf) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	return n.ComputeInto(nil, model, shard, rng)
+}
+
+func (n *nmf) ComputeInto(dst, model []float64, shard *Shard, rng *rand.Rand) []float64 {
 	c := n.cfg.withDefaults()
-	grad := make([]float64, len(model))
+	grad := deltaBuf(dst, len(model))
 	u := make([]float64, c.Classes)
 	rows := float64(maxInt(len(shard.Examples), 1))
 	for _, ex := range shard.Examples {
@@ -249,9 +261,13 @@ func (l *lda) InitModel(rng *rand.Rand) []float64 {
 }
 
 func (l *lda) Compute(model []float64, shard *Shard, rng *rand.Rand) []float64 {
+	return l.ComputeInto(nil, model, shard, rng)
+}
+
+func (l *lda) ComputeInto(dst, model []float64, shard *Shard, rng *rand.Rand) []float64 {
 	c := l.cfg.withDefaults()
 	const alphaDirichlet = 0.1
-	delta := make([]float64, len(model))
+	delta := deltaBuf(dst, len(model))
 	probs := make([]float64, c.Classes)
 	topicTotals := make([]float64, c.Classes)
 	for k := 0; k < c.Classes; k++ {

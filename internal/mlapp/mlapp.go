@@ -140,9 +140,26 @@ type Algorithm interface {
 	// Compute derives an additive update (same length as model) from the
 	// shard under the current model — the COMP subtask's work.
 	Compute(model []float64, shard *Shard, rng *rand.Rand) []float64
+	// ComputeInto is Compute writing into dst (grown when its capacity is
+	// short, zeroed, and returned), so iterating callers reuse one delta
+	// buffer instead of allocating a model-sized slice every iteration.
+	ComputeInto(dst, model []float64, shard *Shard, rng *rand.Rand) []float64
 	// Loss evaluates the objective on the shard (lower is better; LDA
 	// reports negative log-likelihood).
 	Loss(model []float64, shard *Shard) float64
+}
+
+// deltaBuf resizes dst to n elements, reusing its capacity when
+// possible, and zeroes it — the shared prologue of every ComputeInto.
+func deltaBuf(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // New constructs the algorithm for a configuration.

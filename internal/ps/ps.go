@@ -2,6 +2,22 @@
 // server holds a partition of every job's model vector, and workers
 // synchronize through the push/pull API. Servers are co-located with
 // workers in the live runtime, exactly as the paper's deployment does.
+//
+// The pull/push path is the live runtime's hot loop (§IV-A: COMM
+// subtasks keep the network busy while co-located COMP runs), so the
+// data plane rides the binary float-frame codec of internal/rpc instead
+// of gob, partitions are sharded into independently locked stripes so
+// co-located jobs' pushes never contend on a server-wide mutex, and the
+// client can pull into caller-owned buffers for allocation-free
+// steady-state iterations. Wire layouts (all little-endian):
+//
+//	init/restore  request:  str job | u32 lo | floats values   reply: empty
+//	pull/snapshot request:  str job                            reply: u32 lo | floats values
+//	push          request:  str job | u32 lo | floats delta    reply: empty
+//
+// where "str" is a u16-length-prefixed string and "floats" a u32 count
+// followed by raw IEEE-754 bit patterns (rpc.AppendFloats). Drop stays a
+// gob control-plane method.
 package ps
 
 import (
@@ -9,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"harmony/internal/metrics"
 	"harmony/internal/rpc"
 )
 
@@ -21,6 +38,11 @@ const (
 	MethodRestore  = "ps.restore"
 	MethodDrop     = "ps.drop"
 )
+
+// The legacy gob wire structs below are no longer what the data plane
+// sends; they remain as the reference schema for the gob-baseline comm
+// benchmark (cmd/harmony-bench -bench-comm) that the binary codec is
+// measured against.
 
 // InitArgs creates (or replaces) a job's partition on one server.
 type InitArgs struct {
@@ -61,14 +83,44 @@ type DropArgs struct {
 	Job string
 }
 
-// partition is one job's shard of parameters on one server.
+// StripeSize is the number of float64 elements each stripe lock guards
+// (256 KiB of parameters). Small enough that co-located jobs' pushes and
+// a snapshot's streaming pull interleave, large enough that lock traffic
+// is negligible against the arithmetic.
+const StripeSize = 32 * 1024
+
+// partition is one job's shard of parameters on one server, sharded into
+// independently locked stripes: locks[i] guards
+// values[i*StripeSize : (i+1)*StripeSize].
 type partition struct {
 	lo     int
 	values []float64
+	locks  []sync.RWMutex
+}
+
+func newPartition(lo int, values []float64) *partition {
+	stripes := (len(values) + StripeSize - 1) / StripeSize
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &partition{lo: lo, values: values, locks: make([]sync.RWMutex, stripes)}
+}
+
+// stripeBounds returns the [lo, hi) element range of stripe s.
+func (p *partition) stripeBounds(s int) (int, int) {
+	lo := s * StripeSize
+	hi := lo + StripeSize
+	if hi > len(p.values) {
+		hi = len(p.values)
+	}
+	return lo, hi
 }
 
 // Server hosts partitions for any number of jobs. Register it on an
-// rpc.Server with Register.
+// rpc.Server with Register. The server-level lock only guards the
+// partition map; all value access goes through per-stripe locks, so
+// concurrent pushes from co-located jobs (different partitions) and
+// chunked pushes from one job (different stripes) proceed in parallel.
 type Server struct {
 	mu    sync.RWMutex
 	parts map[string]*partition
@@ -79,60 +131,114 @@ func NewServer() *Server {
 	return &Server{parts: make(map[string]*partition)}
 }
 
-// Register installs the PS methods on the RPC server.
+// Register installs the PS methods on the RPC server. Data-plane methods
+// are inline handlers: they never block on other RPCs and run directly on
+// the connection's read loop, keeping buffers pooled end to end.
 func (s *Server) Register(srv *rpc.Server) {
-	srv.Handle(MethodInit, rpc.Typed(s.handleInit))
-	srv.Handle(MethodPull, rpc.Typed(s.handlePull))
-	srv.Handle(MethodPush, rpc.Typed(s.handlePush))
-	srv.Handle(MethodSnapshot, rpc.Typed(s.handleSnapshot))
-	srv.Handle(MethodRestore, rpc.Typed(s.handleRestore))
+	srv.HandleInline(MethodInit, s.handleInit)
+	srv.HandleInline(MethodPull, s.handlePull)
+	srv.HandleInline(MethodPush, s.handlePush)
+	srv.HandleInline(MethodSnapshot, s.handlePull)
+	srv.HandleInline(MethodRestore, s.handleInit)
 	srv.Handle(MethodDrop, rpc.Typed(s.handleDrop))
 }
 
-func (s *Server) handleInit(a InitArgs) (Ack, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vals := make([]float64, len(a.Values))
-	copy(vals, a.Values)
-	s.parts[a.Job] = &partition{lo: a.Lo, values: vals}
-	return Ack{}, nil
-}
-
-func (s *Server) handlePull(a PullArgs) (PullReply, error) {
+// lookup fetches a job's partition under the map lock only.
+func (s *Server) lookup(job string) (*partition, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.parts[a.Job]
+	p, ok := s.parts[job]
+	s.mu.RUnlock()
 	if !ok {
-		return PullReply{}, fmt.Errorf("ps: no partition for job %q", a.Job)
+		return nil, fmt.Errorf("ps: no partition for job %q", job)
 	}
-	vals := make([]float64, len(p.values))
-	copy(vals, p.values)
-	return PullReply{Lo: p.lo, Values: vals}, nil
+	return p, nil
 }
 
-func (s *Server) handlePush(a PushArgs) (Ack, error) {
+func (s *Server) handleInit(raw []byte) ([]byte, error) {
+	job, rest, err := rpc.ReadString(raw)
+	if err != nil {
+		return nil, fmt.Errorf("ps: init: %w", err)
+	}
+	lo32, rest, err := rpc.ReadUint32(rest)
+	if err != nil {
+		return nil, fmt.Errorf("ps: init %q: %w", job, err)
+	}
+	vals, _, err := rpc.ReadFloats(rest, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ps: init %q: %w", job, err)
+	}
+	p := newPartition(int(lo32), vals)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.parts[a.Job]
-	if !ok {
-		return Ack{}, fmt.Errorf("ps: no partition for job %q", a.Job)
-	}
-	if a.Lo != p.lo || len(a.Delta) != len(p.values) {
-		return Ack{}, fmt.Errorf("ps: push shape mismatch for job %q: [%d,%d) vs [%d,%d)",
-			a.Job, a.Lo, a.Lo+len(a.Delta), p.lo, p.lo+len(p.values))
-	}
-	for i, d := range a.Delta {
-		p.values[i] += d
-	}
-	return Ack{}, nil
+	s.parts[job] = p
+	s.mu.Unlock()
+	return nil, nil
 }
 
-func (s *Server) handleSnapshot(a SnapshotArgs) (PullReply, error) {
-	return s.handlePull(PullArgs{Job: a.Job})
+// handlePull streams the partition out stripe by stripe: each stripe is
+// encoded under its own read lock, so a snapshot of a large job never
+// stalls co-located jobs' pushes (they contend per stripe, not per
+// server) and the full partition is never copied under one lock.
+func (s *Server) handlePull(raw []byte) ([]byte, error) {
+	job, _, err := rpc.ReadString(raw)
+	if err != nil {
+		return nil, fmt.Errorf("ps: pull: %w", err)
+	}
+	p, err := s.lookup(job)
+	if err != nil {
+		return nil, err
+	}
+	reply := rpc.GetBuffer(8 + rpc.FloatsLen(len(p.values)))[:0]
+	reply = rpc.AppendUint32(reply, uint32(p.lo))
+	reply = rpc.AppendUint32(reply, uint32(len(p.values)))
+	for st := range p.locks {
+		lo, hi := p.stripeBounds(st)
+		p.locks[st].RLock()
+		reply = rpc.AppendFloatValues(reply, p.values[lo:hi])
+		p.locks[st].RUnlock()
+	}
+	return reply, nil
 }
 
-func (s *Server) handleRestore(a InitArgs) (Ack, error) {
-	return s.handleInit(a)
+// handlePush accumulates a delta straight off the wire, stripe by
+// stripe. Sub-range deltas are accepted, so one job may chunk its push
+// across several calls.
+func (s *Server) handlePush(raw []byte) ([]byte, error) {
+	job, rest, err := rpc.ReadString(raw)
+	if err != nil {
+		return nil, fmt.Errorf("ps: push: %w", err)
+	}
+	lo32, rest, err := rpc.ReadUint32(rest)
+	if err != nil {
+		return nil, fmt.Errorf("ps: push %q: %w", job, err)
+	}
+	count, data, _, err := rpc.FloatFrame(rest)
+	if err != nil {
+		return nil, fmt.Errorf("ps: push %q: %w", job, err)
+	}
+	p, err := s.lookup(job)
+	if err != nil {
+		return nil, err
+	}
+	start := int(lo32) - p.lo
+	if start < 0 || start+count > len(p.values) {
+		return nil, fmt.Errorf("ps: push shape mismatch for job %q: [%d,%d) vs [%d,%d)",
+			job, lo32, int(lo32)+count, p.lo, p.lo+len(p.values))
+	}
+	for st := start / StripeSize; st*StripeSize < start+count; st++ {
+		lo, hi := p.stripeBounds(st)
+		if lo < start {
+			lo = start
+		}
+		if hi > start+count {
+			hi = start + count
+		}
+		p.locks[st].Lock()
+		for i := lo; i < hi; i++ {
+			p.values[i] += rpc.FloatAt(data, i-start)
+		}
+		p.locks[st].Unlock()
+	}
+	return nil, nil
 }
 
 func (s *Server) handleDrop(a DropArgs) (Ack, error) {
@@ -189,79 +295,155 @@ func Partition(n, k, i int) (lo, hi int) {
 	return lo, hi
 }
 
-// Init distributes a full model across the servers.
+// bulkBody assembles a data-plane request body in a pooled buffer:
+// str job | u32 lo | floats vals (the float frame is omitted for pulls).
+func bulkBody(job string, lo int, vals []float64, withFloats bool) []byte {
+	n := 2 + len(job) + 4
+	if withFloats {
+		n += rpc.FloatsLen(len(vals))
+	}
+	body := rpc.GetBuffer(n)[:0]
+	body = rpc.AppendString(body, job)
+	body = rpc.AppendUint32(body, uint32(lo))
+	if withFloats {
+		body = rpc.AppendFloats(body, vals)
+	}
+	return body
+}
+
+// Init distributes a full model across the servers, one partition per
+// server, concurrently — like Pull and Push, deployment is bounded by the
+// slowest server rather than the sum of sequential round trips.
 func (c *Client) Init(job string, model []float64) error {
+	return c.scatter(job, model, MethodInit)
+}
+
+// scatter fans a full-model payload out across the servers.
+func (c *Client) scatter(job string, model []float64, method string) error {
 	k := len(c.clients)
+	errs := make([]error, k)
+	var moved int64
+	start := time.Now()
+	var wg sync.WaitGroup
 	for i, cl := range c.clients {
 		lo, hi := Partition(len(model), k, i)
-		_, err := rpc.Invoke[InitArgs, Ack](cl, MethodInit,
-			InitArgs{Job: job, Lo: lo, Values: model[lo:hi]}, c.timeout)
+		wg.Add(1)
+		go func(i int, cl *rpc.Client, lo, hi int) {
+			defer wg.Done()
+			body := bulkBody(job, lo, model[lo:hi], true)
+			reply, err := cl.Call(method, body, c.timeout)
+			rpc.PutBuffer(body)
+			rpc.PutBuffer(reply)
+			errs[i] = err
+		}(i, cl, lo, hi)
+		moved += int64(8 * (hi - lo))
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("ps: init on server %d: %w", i, err)
+			return fmt.Errorf("ps: %s on server %d: %w", method, i, err)
 		}
+	}
+	if method == MethodPush {
+		metrics.Comm.ObservePush(moved, time.Since(start))
 	}
 	return nil
 }
 
 // Pull fetches the full model, one partition per server, concurrently —
-// the PULL subtask.
+// the PULL subtask. It allocates a fresh model; iterating callers should
+// prefer PullInto with a reused buffer.
 func (c *Client) Pull(job string, modelSize int) ([]float64, error) {
 	model := make([]float64, modelSize)
+	if err := c.PullInto(job, model); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// PullInto fetches the full model into the caller's buffer (len(model)
+// is the model size). Each server's reply decodes straight into its
+// slice of the buffer, so the steady-state pull allocates nothing.
+func (c *Client) PullInto(job string, model []float64) error {
+	return c.gather(job, model, MethodPull)
+}
+
+func (c *Client) gather(job string, model []float64, method string) error {
 	errs := make([]error, len(c.clients))
+	var mu sync.Mutex
+	var moved int64
+	start := time.Now()
 	var wg sync.WaitGroup
 	for i, cl := range c.clients {
 		wg.Add(1)
 		go func(i int, cl *rpc.Client) {
 			defer wg.Done()
-			reply, err := rpc.Invoke[PullArgs, PullReply](cl, MethodPull, PullArgs{Job: job}, c.timeout)
+			body := bulkBody(job, 0, nil, false)
+			reply, err := cl.Call(method, body, c.timeout)
+			rpc.PutBuffer(body)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			if reply.Lo < 0 || reply.Lo+len(reply.Values) > modelSize {
-				errs[i] = fmt.Errorf("ps: partition [%d,%d) outside model of size %d",
-					reply.Lo, reply.Lo+len(reply.Values), modelSize)
-				return
-			}
-			copy(model[reply.Lo:], reply.Values)
+			errs[i] = decodePartitionInto(reply, model)
+			mu.Lock()
+			moved += int64(len(reply))
+			mu.Unlock()
+			rpc.PutBuffer(reply)
 		}(i, cl)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("ps: pull from server %d: %w", i, err)
+			return fmt.Errorf("ps: %s from server %d: %w", method, i, err)
 		}
 	}
-	return model, nil
+	metrics.Comm.ObservePull(moved, time.Since(start))
+	return nil
 }
 
-// Push scatters an additive delta across the servers — the PUSH subtask.
-func (c *Client) Push(job string, delta []float64) error {
-	k := len(c.clients)
-	errs := make([]error, k)
-	var wg sync.WaitGroup
-	for i, cl := range c.clients {
-		lo, hi := Partition(len(delta), k, i)
-		wg.Add(1)
-		go func(i int, cl *rpc.Client, lo, hi int) {
-			defer wg.Done()
-			_, err := rpc.Invoke[PushArgs, Ack](cl, MethodPush,
-				PushArgs{Job: job, Lo: lo, Delta: delta[lo:hi]}, c.timeout)
-			errs[i] = err
-		}(i, cl, lo, hi)
+// decodePartitionInto places one server's pull reply into its range of
+// the assembled model.
+func decodePartitionInto(reply []byte, model []float64) error {
+	lo32, rest, err := rpc.ReadUint32(reply)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("ps: push to server %d: %w", i, err)
-		}
+	count, data, _, err := rpc.FloatFrame(rest)
+	if err != nil {
+		return err
+	}
+	lo := int(lo32)
+	if lo+count > len(model) {
+		return fmt.Errorf("ps: partition [%d,%d) outside model of size %d", lo, lo+count, len(model))
+	}
+	dst := model[lo : lo+count]
+	for i := range dst {
+		dst[i] = rpc.FloatAt(data, i)
 	}
 	return nil
 }
 
-// Snapshot checkpoints the full model (used when pausing a job).
+// Push scatters an additive delta across the servers — the PUSH subtask.
+func (c *Client) Push(job string, delta []float64) error {
+	return c.scatter(job, delta, MethodPush)
+}
+
+// Snapshot checkpoints the full model (used when pausing a job). It rides
+// the same binary codec and per-stripe streaming as Pull, so snapshotting
+// a large job does not stall co-located jobs' pushes.
 func (c *Client) Snapshot(job string, modelSize int) ([]float64, error) {
-	return c.Pull(job, modelSize)
+	model := make([]float64, modelSize)
+	if err := c.gather(job, model, MethodSnapshot); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// Restore reinstalls a checkpointed model across the servers (the
+// §IV-B4 migration path; same wire format as Init).
+func (c *Client) Restore(job string, model []float64) error {
+	return c.scatter(job, model, MethodRestore)
 }
 
 // Drop removes the job's partitions from every server.

@@ -1,0 +1,50 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// TestLargePayloadCall pushes a body larger than the pool's 64 MiB cap
+// through a single call: it must transit the framing layer intact (the
+// server checksums it) even though such buffers bypass the pool.
+func TestLargePayloadCall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("68 MiB payload in -short mode")
+	}
+	const n = maxPooledBuffer + 4<<20 // 68 MiB, over the pooled-buffer cap
+	srv := NewServer()
+	srv.Handle("sum", func(arg []byte) ([]byte, error) {
+		var sum uint64
+		for _, b := range arg {
+			sum = sum*131 + uint64(b)
+		}
+		return binary.LittleEndian.AppendUint64(nil, sum), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := make([]byte, n)
+	var want uint64
+	for i := range payload {
+		payload[i] = byte(i * 7)
+		want = want*131 + uint64(payload[i])
+	}
+	reply, err := c.Call("sum", payload, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(reply); got != want {
+		t.Errorf("checksum over %d-byte payload = %d, want %d", n, got, want)
+	}
+	PutBuffer(reply)
+}

@@ -7,10 +7,12 @@ import (
 	"time"
 )
 
-// Encode gob-encodes a value for use as a request or response body.
+// Encode gob-encodes a value for use as a request or response body. The
+// returned slice is backed by pool memory when available; transient users
+// (Invoke, Typed) hand it back via PutBuffer after the bytes are written.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := bytes.NewBuffer(GetBuffer(0))
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("rpc: encode %T: %w", v, err)
 	}
 	return buf.Bytes(), nil
@@ -39,7 +41,9 @@ func Typed[Arg, Reply any](fn func(Arg) (Reply, error)) Handler {
 	}
 }
 
-// Invoke performs a strongly-typed call on a client.
+// Invoke performs a strongly-typed call on a client. Request and response
+// buffers cycle through the shared pool: gob stays the control-plane
+// codec without the control plane paying a fresh allocation per call.
 func Invoke[Arg, Reply any](c *Client, method string, arg Arg, timeout time.Duration) (Reply, error) {
 	var reply Reply
 	raw, err := Encode(arg)
@@ -47,10 +51,15 @@ func Invoke[Arg, Reply any](c *Client, method string, arg Arg, timeout time.Dura
 		return reply, err
 	}
 	body, err := c.Call(method, raw, timeout)
+	// Call writes the request synchronously before waiting, so raw is
+	// flushed (or dead) by the time it returns on every path.
+	PutBuffer(raw)
 	if err != nil {
 		return reply, err
 	}
-	if err := Decode(body, &reply); err != nil {
+	err = Decode(body, &reply)
+	PutBuffer(body)
+	if err != nil {
 		return reply, err
 	}
 	return reply, nil

@@ -1,0 +1,183 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFloatsRoundTripSpecialValues(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1.5, -2.25e300, 5e-324,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		// A NaN with a non-default payload must survive bit-exactly.
+		math.Float64frombits(0x7ff8_0000_dead_beef),
+	}
+	frame := AppendFloats(nil, vals)
+	if len(frame) != FloatsLen(len(vals)) {
+		t.Fatalf("frame length = %d, want %d", len(frame), FloatsLen(len(vals)))
+	}
+	got, rest, err := ReadFloats(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes, want 0", len(rest))
+	}
+	if !bitsEqual(got, vals) {
+		t.Errorf("round trip not bit-exact:\n got %v\nwant %v", got, vals)
+	}
+}
+
+func TestFloatsRoundTripWithTrailingBytes(t *testing.T) {
+	vals := []float64{3.14, -1}
+	frame := AppendFloats(nil, vals)
+	frame = append(frame, 0xAA, 0xBB)
+	got, rest, err := ReadFloats(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(got, vals) {
+		t.Errorf("values corrupted: %v", got)
+	}
+	if !bytes.Equal(rest, []byte{0xAA, 0xBB}) {
+		t.Errorf("rest = %x, want aabb", rest)
+	}
+}
+
+func TestReadFloatsReusesBuffer(t *testing.T) {
+	frame := AppendFloats(nil, []float64{1, 2, 3})
+	dst := make([]float64, 0, 8)
+	got, _, err := ReadFloats(frame, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[:1][0] != &dst[:1][0] {
+		t.Error("ReadFloats allocated despite sufficient dst capacity")
+	}
+}
+
+func TestFloatFrameTruncated(t *testing.T) {
+	frame := AppendFloats(nil, []float64{1, 2, 3, 4})
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, err := FloatFrame(frame[:cut]); err == nil {
+			t.Errorf("FloatFrame accepted a frame truncated to %d of %d bytes", cut, len(frame))
+		}
+	}
+}
+
+func TestFloatFrameCountLimit(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(maxFrame/8+1))
+	if _, _, _, err := FloatFrame(hdr[:]); err == nil {
+		t.Error("FloatFrame accepted an over-limit count")
+	}
+}
+
+func TestStringAndUint32RoundTrip(t *testing.T) {
+	b := AppendString(nil, "job-0")
+	b = AppendUint32(b, 123456)
+	s, rest, err := ReadString(b)
+	if err != nil || s != "job-0" {
+		t.Fatalf("ReadString = %q, %v", s, err)
+	}
+	v, rest, err := ReadUint32(rest)
+	if err != nil || v != 123456 {
+		t.Fatalf("ReadUint32 = %d, %v", v, err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes", len(rest))
+	}
+	if _, _, err := ReadString([]byte{9}); err == nil {
+		t.Error("ReadString accepted truncated header")
+	}
+	if _, _, err := ReadString([]byte{5, 0, 'a'}); err == nil {
+		t.Error("ReadString accepted truncated body")
+	}
+	if _, _, err := ReadUint32([]byte{1, 2}); err == nil {
+		t.Error("ReadUint32 accepted truncated input")
+	}
+}
+
+func TestBufferPoolRecycling(t *testing.T) {
+	b := GetBuffer(100)
+	if len(b) != 100 || cap(b) < minPooledBuffer {
+		t.Fatalf("GetBuffer(100): len %d cap %d", len(b), cap(b))
+	}
+	PutBuffer(b)
+	// Nil and oversized puts must be dropped without panicking.
+	PutBuffer(nil)
+	PutBuffer(make([]byte, maxPooledBuffer+1))
+	big := GetBuffer(3 << 20)
+	if len(big) != 3<<20 || cap(big)&(cap(big)-1) != 0 {
+		t.Errorf("GetBuffer(3MiB): len %d cap %d (want pow-2 cap)", len(big), cap(big))
+	}
+	PutBuffer(big)
+}
+
+// FuzzFloatFrame feeds arbitrary bytes to the frame validator: it must
+// never panic, and whenever it accepts a frame, re-encoding the decoded
+// values must reproduce the accepted bytes exactly.
+func FuzzFloatFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 2, 3})                     // truncated values
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                  // absurd count
+	f.Add(AppendFloats(nil, []float64{math.NaN(), 1e300})) // valid frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		count, vals, rest, err := FloatFrame(data)
+		if err != nil {
+			return
+		}
+		if len(vals) != 8*count {
+			t.Fatalf("data section %d bytes for count %d", len(vals), count)
+		}
+		if len(rest)+len(vals)+4 != len(data) {
+			t.Fatalf("frame accounting: %d + %d + 4 != %d", len(rest), len(vals), len(data))
+		}
+		decoded, rest2, err := ReadFloats(data, nil)
+		if err != nil || len(decoded) != count || len(rest2) != len(rest) {
+			t.Fatalf("ReadFloats disagrees with FloatFrame: %v", err)
+		}
+		re := AppendFloats(nil, decoded)
+		if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatal("re-encoding an accepted frame changed its bytes")
+		}
+	})
+}
+
+// FuzzFloatsRoundTrip encodes fuzz-derived float64 bit patterns (NaNs,
+// infinities, denormals included) and checks bit-exact decoding.
+func FuzzFloatsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.Inf(-1))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := make([]float64, 0, len(data)/8)
+		for len(data) >= 8 {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		}
+		frame := AppendFloats(nil, vals)
+		got, rest, err := ReadFloats(frame, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 || !bitsEqual(got, vals) {
+			t.Fatal("round trip not bit-exact")
+		}
+	})
+}

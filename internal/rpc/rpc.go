@@ -1,15 +1,33 @@
-// Package rpc is a minimal gob-over-TCP remote procedure call layer used
-// by the live Harmony runtime (master, workers and parameter servers).
+// Package rpc is a minimal binary-framed remote procedure call layer over
+// TCP used by the live Harmony runtime (master, workers and parameter
+// servers).
 //
 // It provides what Apache REEF provided the paper's implementation:
 // typed request/response messaging with connection reuse, concurrent
 // in-flight calls, deadlines and graceful shutdown — built only on the
 // standard library.
+//
+// # Wire format
+//
+// Every message is one length-prefixed frame (all integers little-endian):
+//
+//	u32 payloadLen                      bytes after this field
+//	u64 seq                             matches responses to calls
+//	u8  kind                            0 = request, 1 = response
+//	request:  u16 methodLen, method, body
+//	response: u8 status (0 ok, 1 err), body (error text when status=1)
+//
+// Bodies are opaque to the transport. Control-plane methods gob-encode
+// their bodies through Typed/Invoke; bulk data-plane methods carry the
+// binary float frames of frame.go and skip gob entirely. The framing
+// itself never reflects or copies per element, so a megabyte body costs
+// one buffered write on the way out and one ReadFull into a pooled
+// buffer on the way in.
 package rpc
 
 import (
 	"bufio"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -24,33 +42,52 @@ var (
 	ErrTimeout = errors.New("rpc: call timed out")
 )
 
-// Request is the wire envelope for one call.
-type Request struct {
-	// Seq matches responses to in-flight calls.
-	Seq uint64
-	// Method routes the call to a registered handler.
-	Method string
-	// Body is the gob-encoded argument. Concrete types must be
-	// registered with gob.Register by both sides.
-	Body []byte
-}
+const (
+	frameRequest  = 0
+	frameResponse = 1
 
-// Response is the wire envelope for one reply.
-type Response struct {
-	Seq uint64
-	// Err is a non-empty string when the handler failed.
+	// maxFrame bounds one message's payload; large enough for a full
+	// model partition plus headroom, small enough to reject corrupt
+	// length prefixes before allocating.
+	maxFrame = 1 << 30
+
+	// reqHeader / respHeader are the fixed payload bytes before the
+	// variable part: seq(8) + kind(1) + methodLen(2) or status(1).
+	reqHeader  = 11
+	respHeader = 10
+)
+
+// Handler processes the raw argument bytes of a method and returns reply
+// bytes. Encoding helpers are in codec.go (gob) and frame.go (binary).
+//
+// Ownership contract: the argument slice is only valid for the duration
+// of the call and is recycled afterwards — handlers must not retain it or
+// return a slice aliasing it. The returned reply is recycled by the
+// server once written, so handlers must not retain it either; returning a
+// buffer from GetBuffer keeps the steady state allocation-free.
+type Handler func(arg []byte) ([]byte, error)
+
+// response is the decoded reply delivered to a waiting call.
+type response struct {
+	Seq  uint64
 	Err  string
 	Body []byte
 }
 
-// Handler processes the raw argument bytes of a method and returns reply
-// bytes. Encoding helpers are in codec.go.
-type Handler func(arg []byte) ([]byte, error)
+type handlerEntry struct {
+	h Handler
+	// inline handlers run on the connection's read loop instead of a
+	// fresh goroutine. Reserved for fast, non-blocking data-plane
+	// methods (PS pull/push): it saves a goroutine spawn per call and
+	// keeps request buffers hot, but an inline handler that blocks
+	// stalls every call on its connection.
+	inline bool
+}
 
 // Server accepts connections and dispatches calls to handlers.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]handlerEntry
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -60,7 +97,7 @@ type Server struct {
 // NewServer returns an empty server; register handlers before Serve.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]handlerEntry),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
@@ -70,7 +107,16 @@ func NewServer() *Server {
 func (s *Server) Handle(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = h
+	s.handlers[method] = handlerEntry{h: h}
+}
+
+// HandleInline registers a data-plane handler that runs directly on the
+// connection's read loop. Only use it for fast handlers that never block
+// on other RPCs: inline dispatch serializes calls per connection.
+func (s *Server) HandleInline(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = handlerEntry{h: h, inline: true}
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
@@ -121,41 +167,118 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	br := bufio.NewWriter(conn)
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-	enc := gob.NewEncoder(br)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
 	var wmu sync.Mutex // one writer at a time per connection
+	var lenBuf [4]byte
+	var hdr [reqHeader]byte
+	var methodBuf []byte
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n < reqHeader || n > maxFrame {
+			return // corrupt stream
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		seq := binary.LittleEndian.Uint64(hdr[0:8])
+		if hdr[8] != frameRequest {
+			return
+		}
+		mlen := int(binary.LittleEndian.Uint16(hdr[9:reqHeader]))
+		if mlen > n-reqHeader {
+			return
+		}
+		if cap(methodBuf) < mlen {
+			methodBuf = make([]byte, mlen)
+		}
+		method := methodBuf[:mlen]
+		if _, err := io.ReadFull(br, method); err != nil {
+			return
+		}
+		body := GetBuffer(n - reqHeader - mlen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			PutBuffer(body)
 			return
 		}
 		s.mu.RLock()
-		h, ok := s.handlers[req.Method]
+		e, ok := s.handlers[string(method)] // no-alloc map lookup
 		s.mu.RUnlock()
-		s.wg.Add(1)
-		go func(req Request) {
-			defer s.wg.Done()
-			var resp Response
-			resp.Seq = req.Seq
-			if !ok {
-				resp.Err = fmt.Sprintf("rpc: unknown method %q", req.Method)
-			} else {
-				body, err := safeCall(h, req.Body)
-				if err != nil {
-					resp.Err = err.Error()
-				} else {
-					resp.Body = body
-				}
-			}
+		if !ok {
+			PutBuffer(body)
 			wmu.Lock()
-			defer wmu.Unlock()
-			if err := enc.Encode(&resp); err != nil {
+			err := writeResponse(bw, seq, fmt.Sprintf("rpc: unknown method %q", method), nil)
+			wmu.Unlock()
+			if err != nil {
 				return
 			}
-			_ = br.Flush()
-		}(req)
+			continue
+		}
+		if e.inline {
+			reply, err := safeCall(e.h, body)
+			PutBuffer(body)
+			wmu.Lock()
+			werr := writeCallResult(bw, seq, reply, err)
+			wmu.Unlock()
+			PutBuffer(reply)
+			if werr != nil {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func(seq uint64, body []byte) {
+			defer s.wg.Done()
+			reply, err := safeCall(e.h, body)
+			PutBuffer(body)
+			wmu.Lock()
+			_ = writeCallResult(bw, seq, reply, err)
+			wmu.Unlock()
+			PutBuffer(reply)
+		}(seq, body)
 	}
+}
+
+// writeCallResult frames a handler outcome as a response and flushes it.
+func writeCallResult(bw *bufio.Writer, seq uint64, reply []byte, err error) error {
+	if err != nil {
+		return writeResponse(bw, seq, err.Error(), nil)
+	}
+	return writeResponse(bw, seq, "", reply)
+}
+
+// writeResponse frames one reply (or error) and flushes the writer. The
+// caller must hold the connection's write lock.
+func writeResponse(bw *bufio.Writer, seq uint64, errMsg string, body []byte) error {
+	if errMsg != "" {
+		body = nil
+	}
+	payload := respHeader + len(errMsg) + len(body)
+	if payload > maxFrame {
+		// Replace an oversized reply with an error the caller can see.
+		return writeResponse(bw, seq, "rpc: reply exceeds frame limit", nil)
+	}
+	var hdr [4 + respHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload))
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	hdr[12] = frameResponse
+	if errMsg != "" {
+		hdr[13] = 1
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if errMsg != "" {
+		if _, err := bw.WriteString(errMsg); err != nil {
+			return err
+		}
+	} else if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // safeCall shields the connection loop from panicking handlers: a failed
@@ -163,6 +286,7 @@ func (s *Server) serveConn(conn net.Conn) {
 func safeCall(h Handler, arg []byte) (body []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			body = nil
 			err = fmt.Errorf("rpc: handler panic: %v", r)
 		}
 	}()
@@ -203,10 +327,9 @@ func (s *Server) Close() error {
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
-	enc     *gob.Encoder
 	bw      *bufio.Writer
 	seq     uint64
-	pending map[uint64]chan Response
+	pending map[uint64]chan response
 	closed  bool
 	readErr error
 	done    chan struct{}
@@ -218,12 +341,10 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	bw := bufio.NewWriter(conn)
 	c := &Client{
 		conn:    conn,
-		enc:     gob.NewEncoder(bw),
-		bw:      bw,
-		pending: make(map[uint64]chan Response),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan response),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -231,12 +352,47 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 }
 
 func (c *Client) readLoop() {
-	dec := gob.NewDecoder(bufio.NewReader(c.conn))
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var lenBuf [4]byte
+	var hdr [respHeader]byte
 	for {
-		var resp Response
-		if err := dec.Decode(&resp); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			c.failAll(err)
 			return
+		}
+		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n < respHeader || n > maxFrame {
+			c.failAll(errors.New("rpc: corrupt response frame"))
+			return
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.failAll(err)
+			return
+		}
+		if hdr[8] != frameResponse {
+			c.failAll(errors.New("rpc: corrupt response frame"))
+			return
+		}
+		resp := response{Seq: binary.LittleEndian.Uint64(hdr[0:8])}
+		bodyLen := n - respHeader
+		if hdr[9] != 0 {
+			errBytes := make([]byte, bodyLen)
+			if _, err := io.ReadFull(br, errBytes); err != nil {
+				c.failAll(err)
+				return
+			}
+			resp.Err = string(errBytes)
+			if resp.Err == "" {
+				resp.Err = "rpc: handler failed"
+			}
+		} else {
+			body := GetBuffer(bodyLen)
+			if _, err := io.ReadFull(br, body); err != nil {
+				PutBuffer(body)
+				c.failAll(err)
+				return
+			}
+			resp.Body = body
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[resp.Seq]
@@ -244,6 +400,9 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- resp
+		} else {
+			// The call timed out or was abandoned; reclaim its body.
+			PutBuffer(resp.Body)
 		}
 	}
 }
@@ -257,14 +416,25 @@ func (c *Client) failAll(err error) {
 	c.readErr = err
 	for seq, ch := range c.pending {
 		delete(c.pending, seq)
-		ch <- Response{Err: err.Error()}
+		ch <- response{Err: err.Error()}
 	}
 	close(c.done)
 }
 
 // Call sends a raw request and waits for the reply or the timeout
 // (zero means wait forever).
+//
+// The returned body may come from the shared buffer pool: callers that
+// are done with it should hand it back with PutBuffer (Invoke does this
+// automatically). Forgetting to is safe, just slower.
 func (c *Client) Call(method string, arg []byte, timeout time.Duration) ([]byte, error) {
+	if len(method) > 1<<16-1 {
+		return nil, fmt.Errorf("rpc: method name too long (%d bytes)", len(method))
+	}
+	payload := reqHeader + len(method) + len(arg)
+	if payload > maxFrame {
+		return nil, fmt.Errorf("rpc: %s request exceeds frame limit (%d bytes)", method, len(arg))
+	}
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
 		err := c.readErr
@@ -276,9 +446,20 @@ func (c *Client) Call(method string, arg []byte, timeout time.Duration) ([]byte,
 	}
 	c.seq++
 	seq := c.seq
-	ch := make(chan Response, 1)
+	ch := make(chan response, 1)
 	c.pending[seq] = ch
-	err := c.enc.Encode(&Request{Seq: seq, Method: method, Body: arg})
+	var hdr [4 + reqHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload))
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	hdr[12] = frameRequest
+	binary.LittleEndian.PutUint16(hdr[13:15], uint16(len(method)))
+	_, err := c.bw.Write(hdr[:])
+	if err == nil {
+		_, err = c.bw.WriteString(method)
+	}
+	if err == nil {
+		_, err = c.bw.Write(arg)
+	}
 	if err == nil {
 		err = c.bw.Flush()
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"harmony/internal/memstore"
+	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
 	"harmony/internal/ps"
 	"harmony/internal/rpc"
@@ -87,6 +88,14 @@ type StatsReply struct {
 	CPUUtil float64
 	NetUtil float64
 	Jobs    int
+	// Comm is this worker process's data-plane traffic (pull/push ops,
+	// bytes, latency); the master aggregates it across workers so the
+	// control plane's /metrics sees cluster-wide COMM totals even when
+	// workers run as separate processes. CommProcess identifies the
+	// owning process — in-process workers share one counter set and the
+	// aggregator must count it once.
+	Comm        metrics.CommSnapshot
+	CommProcess string
 }
 
 // BarrierArgs is the per-iteration synchronization call to the master
@@ -141,6 +150,11 @@ type jobState struct {
 	stopCh   chan struct{}
 	running  bool
 	lastIter int
+	// model and delta are reused across iterations: PullInto decodes the
+	// pulled parameters straight into model and ComputeInto writes the
+	// update into delta, so the steady-state cycle allocates nothing.
+	model []float64
+	delta []float64
 }
 
 // Worker is the live worker runtime. Create with New, then Close.
@@ -309,22 +323,26 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 		w.mu.Unlock()
 	}()
 	modelSize := st.cfg.ModelSize()
+	if cap(st.model) < modelSize {
+		st.model = make([]float64, modelSize)
+	}
+	st.model = st.model[:modelSize]
 	for iter := from; iter < iterations; iter++ {
 		select {
 		case <-st.stopCh:
 			return
 		default:
 		}
-		var model []float64
 		var pullErr error
 		var compSecs, netSecs float64
 		var loss float64
+		model := st.model
 
-		// PULL subtask.
+		// PULL subtask: decode straight into the reused model buffer.
 		stepDone := make(chan struct{})
 		start := time.Now()
 		if err := w.exec.Submit(subtask.Pull, job, func() {
-			model, pullErr = st.client.Pull(job, modelSize)
+			pullErr = st.client.PullInto(job, model)
 		}, func() { close(stepDone) }); err != nil {
 			return
 		}
@@ -334,13 +352,13 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 			return // servers gone: the master is tearing the job down
 		}
 
-		// COMP subtask: reload-gated data access plus real computation.
-		var delta []float64
+		// COMP subtask: reload-gated data access plus real computation,
+		// writing the update into the reused delta buffer.
 		stepDone = make(chan struct{})
 		start = time.Now()
 		if err := w.exec.Submit(subtask.Comp, job, func() {
 			shard := w.materializeShard(st)
-			delta = st.algo.Compute(model, shard, st.rng)
+			st.delta = st.algo.ComputeInto(st.delta, model, shard, st.rng)
 			loss = st.algo.Loss(model, shard)
 		}, func() { close(stepDone) }); err != nil {
 			return
@@ -353,7 +371,7 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 		stepDone = make(chan struct{})
 		start = time.Now()
 		if err := w.exec.Submit(subtask.Push, job, func() {
-			pushErr = st.client.Push(job, delta)
+			pushErr = st.client.Push(job, st.delta)
 		}, func() { close(stepDone) }); err != nil {
 			return
 		}
@@ -437,7 +455,8 @@ func (w *Worker) handleStats(StatsArgs) (StatsReply, error) {
 	w.mu.Lock()
 	jobs := len(w.jobs)
 	w.mu.Unlock()
-	return StatsReply{CPUUtil: cpu, NetUtil: net, Jobs: jobs}, nil
+	return StatsReply{CPUUtil: cpu, NetUtil: net, Jobs: jobs,
+		Comm: metrics.Comm.Snapshot(), CommProcess: metrics.ProcessID()}, nil
 }
 
 // Name reports the worker's registered name.

@@ -130,12 +130,25 @@ type ControlPlane struct {
 	s *ctl.Server
 }
 
+// APIOption configures the control plane served by ServeAPI.
+type APIOption func(*ctl.Server)
+
+// WithPprof mounts net/http/pprof's profiling handlers under
+// /debug/pprof/ on the control plane. Off by default: the endpoints
+// expose process internals and can burn CPU on demand.
+func WithPprof() APIOption {
+	return func(s *ctl.Server) { s.EnablePprof() }
+}
+
 // ServeAPI mounts the HTTP/JSON control plane for this master on addr
 // ("127.0.0.1:0" for an ephemeral port): job submission through the
 // online admission queue, status, cancellation, /healthz and Prometheus
 // /metrics. See DESIGN.md §7 for the API surface.
-func (m *Master) ServeAPI(addr string) (*ControlPlane, error) {
+func (m *Master) ServeAPI(addr string, opts ...APIOption) (*ControlPlane, error) {
 	s := ctl.New(m.m)
+	for _, opt := range opts {
+		opt(s)
+	}
 	if err := s.Start(addr); err != nil {
 		return nil, err
 	}
