@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke bench-smoke bench-report bench-comm
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke bench-smoke bench-report bench-comm bench-comp
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -35,6 +35,11 @@ ctl-smoke:
 comm-smoke:
 	$(GO) test -race -run 'TestCommPathRaceSmoke' ./internal/ps/
 
+## comp-smoke: short race-enabled pass over the fast COMP path (cache
+## invalidation vs concurrent spill retunes)
+comp-smoke:
+	$(GO) test -race -run 'TestCompPathRaceSmoke' ./internal/worker/
+
 ## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
 bench-smoke:
 	$(GO) test ./internal/core/ -run XXX -bench BenchmarkScheduleLarge -benchmem -benchtime 3x
@@ -51,3 +56,9 @@ bench-report:
 bench-comm:
 	$(GO) test ./internal/ps/ -run XXX -bench 'BenchmarkPullPush' -benchmem
 	$(GO) run ./cmd/harmony-bench -bench-comm
+
+## bench-comp: compute-path report — cached binary blocks + fused
+## multicore kernel vs the gob-decode serial baseline (BENCH_comppath.json)
+bench-comp:
+	$(GO) test ./internal/worker/ -run XXX -bench 'BenchmarkComp' -benchmem
+	$(GO) run ./cmd/harmony-bench -bench-comp

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"harmony/internal/mlapp"
+	"harmony/internal/rpc"
+)
+
+// Comp-path benchmark (-bench-comp): one steady-state COMP subtask per
+// mlapp algorithm — shard access plus the full update-and-loss
+// computation — measured on the fast path (columnar payloads decoded
+// once, fused multicore kernel) and on a faithful replica of the seed
+// implementation (gob-decode every block per iteration, serial
+// ComputeInto, separate Loss pass). The replica lives here so the
+// comparison survives as the mlapp and worker packages evolve.
+const (
+	compRows         = 512
+	compFeatures     = 32
+	compClasses      = 8
+	compRowsPerBlock = 32
+)
+
+// compReport is the machine-readable record written to
+// BENCH_comppath.json; future PRs diff against it.
+type compReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Timestamp  string        `json:"timestamp"`
+	Rows       int           `json:"rows"`
+	Features   int           `json:"features"`
+	Classes    int           `json:"classes"`
+	Results    []benchResult `json:"results"`
+	// Speedups maps algorithm kind to gob-baseline ns/op over fast-path
+	// ns/op at this GOMAXPROCS.
+	Speedups map[string]float64 `json:"speedup_vs_gob"`
+}
+
+func runBenchComp(path string) error {
+	procs := runtime.GOMAXPROCS(0)
+	report := compReport{
+		GoMaxProcs: procs,
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Rows:       compRows,
+		Features:   compFeatures,
+		Classes:    compClasses,
+		Speedups:   make(map[string]float64),
+	}
+	fmt.Printf("benchmarking COMP path: %d rows × %d features, %d classes, GOMAXPROCS=%d...\n",
+		compRows, compFeatures, compClasses, procs)
+
+	for _, kind := range []mlapp.Kind{mlapp.MLR, mlapp.Lasso, mlapp.NMF, mlapp.LDA} {
+		cfg := mlapp.Config{Kind: kind, Rows: compRows,
+			Features: compFeatures, Classes: compClasses}
+		fast, err := measureCompFast(cfg)
+		if err != nil {
+			return err
+		}
+		gob, err := measureCompGob(cfg)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, fast, gob)
+		report.Speedups[kind.String()] = float64(gob.NsPerOp) / float64(fast.NsPerOp)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nGOMAXPROCS=%d (%s)\n", procs, runtime.Version())
+	for _, r := range report.Results {
+		fmt.Printf("  %-28s %12d ns/op %12d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	for _, kind := range []mlapp.Kind{mlapp.MLR, mlapp.Lasso, mlapp.NMF, mlapp.LDA} {
+		fmt.Printf("%-6s fast path: %.1fx faster than the gob-decode serial baseline\n",
+			kind.String(), report.Speedups[kind.String()])
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
+}
+
+// compSetup generates the shard and encodes it into per-block payloads
+// with the given encoder, mirroring the worker's load path.
+func compSetup(cfg mlapp.Config, encode func([]mlapp.Example) ([]byte, error)) (mlapp.Algorithm, *mlapp.Shard, [][]byte, error) {
+	algo, err := mlapp.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	shards, err := mlapp.GenerateShards(cfg, 1, 11)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	shard := shards[0]
+	var payloads [][]byte
+	for lo := 0; lo < len(shard.Examples); lo += compRowsPerBlock {
+		hi := lo + compRowsPerBlock
+		if hi > len(shard.Examples) {
+			hi = len(shard.Examples)
+		}
+		p, err := encode(shard.Examples[lo:hi])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		payloads = append(payloads, p)
+	}
+	return algo, shard, payloads, nil
+}
+
+// measureCompFast times the fast path: columnar blocks decoded once into
+// a cached view, then the fused multicore kernel per iteration.
+func measureCompFast(cfg mlapp.Config) (benchResult, error) {
+	algo, shard, payloads, err := compSetup(cfg, func(ex []mlapp.Example) ([]byte, error) {
+		return mlapp.AppendExamples(nil, ex), nil
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	// Decode once (the cache's cold pass); iterations reuse the view.
+	var examples []mlapp.Example
+	for _, p := range payloads {
+		ex, err := mlapp.DecodeExamples(p)
+		if err != nil {
+			return benchResult{}, err
+		}
+		examples = append(examples, ex...)
+	}
+	cached := &mlapp.Shard{Kind: shard.Kind, RowOffset: shard.RowOffset, Examples: examples}
+	rng := rand.New(rand.NewSource(7))
+	model := algo.InitModel(rng)
+	var delta []float64
+	var scratch mlapp.Scratch
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delta, _ = mlapp.ComputeFused(algo, delta, model, cached, rng, 0, &scratch)
+		}
+	})
+	return benchResult{
+		Name:        "comppath_fast_" + cfg.Kind.String(),
+		Parallelism: runtime.GOMAXPROCS(0),
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}, nil
+}
+
+// measureCompGob replays the seed COMP subtask: gob payloads decoded on
+// every iteration, freshly assembled shard, serial update pass, then a
+// second full pass for the loss.
+func measureCompGob(cfg mlapp.Config) (benchResult, error) {
+	algo, shard, payloads, err := compSetup(cfg, func(ex []mlapp.Example) ([]byte, error) {
+		return rpc.Encode(ex)
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	model := algo.InitModel(rng)
+	var delta []float64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := &mlapp.Shard{Kind: shard.Kind, RowOffset: shard.RowOffset}
+			for _, p := range payloads {
+				var examples []mlapp.Example
+				if err := rpc.Decode(p, &examples); err != nil {
+					b.Fatal(err)
+				}
+				out.Examples = append(out.Examples, examples...)
+			}
+			delta = algo.ComputeInto(delta, model, out, rng)
+			_ = algo.Loss(model, out)
+		}
+	})
+	_ = delta
+	return benchResult{
+		Name:        "comppath_gob_baseline_" + cfg.Kind.String(),
+		Parallelism: 1,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}, nil
+}

@@ -6,6 +6,7 @@
 //	harmony-bench -parallel 1 -run fig10   # single-threaded baseline
 //	harmony-bench -bench                   # speedup report + BENCH_schedule.json
 //	harmony-bench -bench-comm              # data-plane report + BENCH_commpath.json
+//	harmony-bench -bench-comp              # compute-path report + BENCH_comppath.json
 //	harmony-bench -list
 package main
 
@@ -100,6 +101,8 @@ func run(args []string) error {
 	benchOut := fs.String("bench-out", "BENCH_schedule.json", "output path for -bench results")
 	benchComm := fs.Bool("bench-comm", false, "measure the pull/push data plane against the gob baseline, write BENCH_commpath.json, and exit")
 	benchCommOut := fs.String("bench-comm-out", "BENCH_commpath.json", "output path for -bench-comm results")
+	benchComp := fs.Bool("bench-comp", false, "measure the fast COMP path against the gob-decode serial baseline, write BENCH_comppath.json, and exit")
+	benchCompOut := fs.String("bench-comp-out", "BENCH_comppath.json", "output path for -bench-comp results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +112,9 @@ func run(args []string) error {
 	}
 	if *benchComm {
 		return runBenchComm(*benchCommOut)
+	}
+	if *benchComp {
+		return runBenchComp(*benchCompOut)
 	}
 	exps := experiments()
 	if *list {

@@ -28,6 +28,8 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "address to serve the parameter server on")
 	master := fs.String("master", "127.0.0.1:7070", "master address")
 	spill := fs.String("spill", "", "directory for spilled input blocks (default: temp dir)")
+	compParallel := fs.Int("comp-parallel", 0,
+		"core pool for the fused COMP kernel (0 = GOMAXPROCS; results are bit-identical at any setting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +50,7 @@ func run(args []string) error {
 		return err
 	}
 	defer w.Close()
+	w.SetCompParallelism(*compParallel)
 	fmt.Printf("worker %s registered with master %s (spill dir %s)\n", *name, *master, dir)
 
 	sig := make(chan os.Signal, 1)

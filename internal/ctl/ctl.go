@@ -43,6 +43,7 @@ type Backend interface {
 	Counters() master.Counters
 	WorkerStats() (cpu, net float64, err error)
 	CommStats() metrics.CommSnapshot
+	CompStats() metrics.CompSnapshot
 }
 
 var _ Backend = (*master.Master)(nil)

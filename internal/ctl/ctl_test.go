@@ -22,6 +22,7 @@ type fakeBackend struct {
 	cluster    master.ClusterView
 	counters   master.Counters
 	comm       metrics.CommSnapshot
+	comp       metrics.CompSnapshot
 	statsErr   error
 	lastSpec   master.JobSpec
 	lastProf   master.Profile
@@ -70,6 +71,10 @@ func (f *fakeBackend) WorkerStats() (float64, float64, error) {
 
 func (f *fakeBackend) CommStats() metrics.CommSnapshot {
 	return f.comm
+}
+
+func (f *fakeBackend) CompStats() metrics.CompSnapshot {
+	return f.comp
 }
 
 func doReq(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
@@ -304,6 +309,9 @@ func TestMetricsExposition(t *testing.T) {
 			Pulls: 10, Pushes: 9, PullBytes: 4096, PushBytes: 2048,
 			PullSeconds: 1.5, PushSeconds: 0.5,
 		},
+		comp: metrics.CompSnapshot{
+			BlockHits: 40, BlockMisses: 8, ReloadStallSeconds: 0.25,
+		},
 	}
 	s := New(fb)
 	// A prior request shows up in the per-route counter.
@@ -339,6 +347,9 @@ func TestMetricsExposition(t *testing.T) {
 		`harmony_comm_bytes_total{op="push"} 2048`,
 		`harmony_comm_seconds_total{op="pull"} 1.5`,
 		`harmony_comm_seconds_total{op="push"} 0.5`,
+		`harmony_comp_block_cache_total{result="hit"} 40`,
+		`harmony_comp_block_cache_total{result="miss"} 8`,
+		`harmony_comp_reload_stall_seconds_total 0.25`,
 		`harmony_api_requests_total{route="GET /v1/jobs"} 1`,
 		"# TYPE harmony_jobs gauge",
 		"# TYPE harmony_admissions_total counter",

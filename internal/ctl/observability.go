@@ -92,9 +92,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Type: metrics.PromGauge, Value: net},
 		)
 	}
-	// Data-plane traffic (pull/push ops, bytes, latency) aggregated
+	// Data-plane traffic (pull/push ops, bytes, latency) and compute-path
+	// health (block-cache hit/miss, reload-stall seconds), aggregated
 	// across the cluster: this process plus every worker process.
 	samples = append(samples, metrics.CommSamples(s.b.CommStats())...)
+	samples = append(samples, metrics.CompSamples(s.b.CompStats())...)
 	s.mu.Lock()
 	for _, route := range routes {
 		samples = append(samples, metrics.Sample{

@@ -294,7 +294,11 @@ func (m *Master) deploy(j *job, restore []float64, fromIter int) error {
 			InitModel: i == 0, Alpha: j.spec.Alpha,
 		}
 		if i == 0 && restore != nil {
-			args.Restore = restore
+			// Checkpointed models ride the data plane's float-frame codec:
+			// a gob []float64 would walk every element reflectively, which
+			// for large models would drag migration/recovery back onto the
+			// slow plane PR 3 retired.
+			args.RestoreFrame = rpc.AppendFloats(nil, restore)
 		}
 		if _, err := rpc.Invoke[worker.LoadJobArgs, worker.Ack](r.client,
 			worker.MethodLoadJob, args, time.Minute); err != nil {
@@ -609,6 +613,31 @@ func (m *Master) CommStats() metrics.CommSnapshot {
 		perProcess[st.CommProcess] = st.Comm
 	}
 	var sum metrics.CommSnapshot
+	for _, s := range perProcess {
+		sum = sum.Add(s)
+	}
+	return sum
+}
+
+// CompStats sums compute-path health (decoded-block cache hits/misses,
+// reload-stall seconds) across the cluster with the same per-process
+// deduplication and best-effort semantics as CommStats.
+func (m *Master) CompStats() metrics.CompSnapshot {
+	m.mu.Lock()
+	refs := append([]workerRef(nil), m.workers...)
+	m.mu.Unlock()
+	perProcess := map[string]metrics.CompSnapshot{
+		metrics.ProcessID(): metrics.Comp.Snapshot(),
+	}
+	for _, r := range refs {
+		st, err := rpc.Invoke[worker.StatsArgs, worker.StatsReply](r.client,
+			worker.MethodStats, worker.StatsArgs{}, time.Minute)
+		if err != nil {
+			continue
+		}
+		perProcess[st.CommProcess] = st.Comp
+	}
+	var sum metrics.CompSnapshot
 	for _, s := range perProcess {
 		sum = sum.Add(s)
 	}

@@ -12,10 +12,45 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"harmony/internal/metrics"
 )
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("memstore: store closed")
+
+// EventKind classifies residency-change notifications.
+type EventKind int
+
+// Residency events. Evict fires when a block leaves memory for disk
+// (the §IV-C spiller); Reload fires when a spilled block returns, whether
+// by the background reloader or a blocking Get.
+const (
+	Evict EventKind = iota + 1
+	Reload
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Evict:
+		return "evict"
+	case Reload:
+		return "reload"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one residency change of one block. Consumers (the worker's
+// decoded-block cache) use Evict to invalidate derived state: a spilled
+// block's payload pointer is dead, and serving stale decodes would let
+// compute dodge the reload cost the spiller is modeling.
+type Event struct {
+	Kind EventKind
+	ID   int
+}
 
 // Block is one unit of spillable data.
 type Block struct {
@@ -41,9 +76,13 @@ type Store struct {
 	reloadCh chan int
 	done     chan struct{}
 
+	// notify receives residency events; see SetNotify.
+	notify func(Event)
+
 	// Stats.
-	spills  int
-	reloads int
+	spills     int
+	reloads    int
+	stallNanos int64
 }
 
 // Open creates a store that spills into dir (created if needed).
@@ -61,6 +100,22 @@ func Open(dir string) (*Store, error) {
 	s.cond = sync.NewCond(&s.mu)
 	go s.reloader()
 	return s, nil
+}
+
+// SetNotify installs the residency-event callback. The callback runs with
+// the store lock held (so an Evict is delivered before any Get can
+// observe the block gone) and therefore must not call back into the
+// Store. Pass nil to remove it.
+func (s *Store) SetNotify(fn func(Event)) {
+	s.mu.Lock()
+	s.notify = fn
+	s.mu.Unlock()
+}
+
+func (s *Store) notifyLocked(kind EventKind, id int) {
+	if s.notify != nil {
+		s.notify(Event{Kind: kind, ID: id})
+	}
 }
 
 // Put registers a block, initially resident.
@@ -148,6 +203,7 @@ func (s *Store) spillLocked(b *Block) error {
 	delete(s.resident, b.ID)
 	s.onDisk[b.ID] = path
 	s.spills++
+	s.notifyLocked(Evict, b.ID)
 	return nil
 }
 
@@ -164,10 +220,17 @@ func (s *Store) Get(id int) (*Block, error) {
 			return b, nil
 		}
 		if _, ok := s.onDisk[id]; ok {
+			// A blocked COMP subtask: the reloader has not caught up, so
+			// this Get pays the disk latency inline. Track it — the profiled
+			// T_cpu the scheduler feeds Algorithm 1 includes these stalls.
+			start := time.Now()
 			b, err := s.loadLocked(id)
 			if err != nil {
 				return nil, err
 			}
+			stall := time.Since(start)
+			s.stallNanos += int64(stall)
+			metrics.Comp.ObserveReloadStall(stall)
 			return b, nil
 		}
 		return nil, fmt.Errorf("memstore: unknown block %d", id)
@@ -188,6 +251,7 @@ func (s *Store) loadLocked(id int) (*Block, error) {
 	delete(s.onDisk, id)
 	s.resident[id] = &b
 	s.reloads++
+	s.notifyLocked(Reload, id)
 	// Keep the spill file: re-spilling the block later becomes free, and
 	// Close removes the directory anyway.
 	return &b, nil
@@ -237,6 +301,15 @@ func (s *Store) Stats() (resident, onDisk, spills, reloads int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.resident), len(s.onDisk), s.spills, s.reloads
+}
+
+// StallSeconds reports the cumulative wall time synchronous Gets spent
+// reloading spilled blocks — the §IV-C stall the background reloader
+// exists to hide.
+func (s *Store) StallSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.stallNanos).Seconds()
 }
 
 // Blocks reports how many blocks the store manages.

@@ -209,3 +209,88 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not met within deadline")
 }
+
+func TestNotifyEvictAndReload(t *testing.T) {
+	s := open(t)
+	var events []Event
+	s.SetNotify(func(e Event) { events = append(events, e) })
+	fill(t, s, 4)
+	if len(events) != 0 {
+		t.Fatalf("Put fired %d events", len(events))
+	}
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d events after full spill, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Kind != Evict || e.ID != i {
+			t.Errorf("event %d = %v/%d, want evict/%d", i, e.Kind, e.ID, i)
+		}
+	}
+	events = nil
+	if _, err := s.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != Reload || events[0].ID != 2 {
+		t.Fatalf("events after blocking Get = %v, want one reload of 2", events)
+	}
+	// Removing the callback silences further events.
+	s.SetNotify(nil)
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Errorf("events delivered after SetNotify(nil): %v", events[1:])
+	}
+}
+
+func TestNotifyBackgroundReload(t *testing.T) {
+	s := open(t)
+	ch := make(chan Event, 16)
+	s.SetNotify(func(e Event) { ch <- e })
+	fill(t, s, 2)
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		<-ch // the two evictions
+	}
+	// Dropping alpha queues background reloads; both must announce.
+	if err := s.SetAlpha(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	got := map[int]bool{}
+	for len(got) < 2 {
+		select {
+		case e := <-ch:
+			if e.Kind != Reload {
+				t.Fatalf("unexpected event %v/%d", e.Kind, e.ID)
+			}
+			got[e.ID] = true
+		case <-deadline:
+			t.Fatalf("reload events missing, have %v", got)
+		}
+	}
+}
+
+func TestStallSecondsAccumulates(t *testing.T) {
+	s := open(t)
+	fill(t, s, 3)
+	if s.StallSeconds() != 0 {
+		t.Fatalf("stall = %v before any reload", s.StallSeconds())
+	}
+	if err := s.SetAlpha(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.StallSeconds() <= 0 {
+		t.Error("synchronous reloads did not accumulate stall time")
+	}
+}

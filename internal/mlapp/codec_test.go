@@ -1,0 +1,112 @@
+package mlapp
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleExamples() []Example {
+	return []Example{
+		{X: []float64{1.5, -2.25, 0}, Y: 2},
+		{X: []float64{math.Inf(1), math.Inf(-1), math.NaN()}, Y: -0.0},
+		{Tokens: []int{0, 7, 7, 31}},
+		{}, // fully empty example
+		{X: []float64{3.14}, Y: 1, Tokens: []int{5}},
+	}
+}
+
+func TestExampleCodecRoundTrip(t *testing.T) {
+	in := sampleExamples()
+	enc := AppendExamples(nil, in)
+	if len(enc) != EncodedExamplesLen(in) {
+		t.Errorf("encoded %d bytes, EncodedExamplesLen = %d", len(enc), EncodedExamplesLen(in))
+	}
+	out, err := DecodeExamples(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d examples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if got, want := math.Float64bits(out[i].Y), math.Float64bits(in[i].Y); got != want {
+			t.Errorf("example %d: Y bits %x, want %x", i, got, want)
+		}
+		if len(out[i].X) != len(in[i].X) {
+			t.Fatalf("example %d: %d X values, want %d", i, len(out[i].X), len(in[i].X))
+		}
+		for j := range in[i].X {
+			if got, want := math.Float64bits(out[i].X[j]), math.Float64bits(in[i].X[j]); got != want {
+				t.Errorf("example %d X[%d]: bits %x, want %x", i, j, got, want)
+			}
+		}
+		if len(out[i].Tokens) != len(in[i].Tokens) {
+			t.Fatalf("example %d: %d tokens, want %d", i, len(out[i].Tokens), len(in[i].Tokens))
+		}
+		for j := range in[i].Tokens {
+			if out[i].Tokens[j] != in[i].Tokens[j] {
+				t.Errorf("example %d token %d = %d, want %d", i, j, out[i].Tokens[j], in[i].Tokens[j])
+			}
+		}
+	}
+}
+
+func TestExampleCodecEmptyBlock(t *testing.T) {
+	enc := AppendExamples(nil, nil)
+	out, err := DecodeExamples(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("decoded %d examples from empty block", len(out))
+	}
+}
+
+func TestExampleCodecAppendsToPrefix(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	enc := AppendExamples(prefix, sampleExamples())
+	if enc[0] != 0xde || enc[1] != 0xad {
+		t.Fatal("prefix clobbered")
+	}
+	if _, err := DecodeExamples(enc[2:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExampleCodecRejectsGarbage(t *testing.T) {
+	enc := AppendExamples(nil, sampleExamples())
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": enc[:3],
+		"bad magic":   append([]byte{9, 9, 9, 9}, enc[4:]...),
+		"no count":    enc[:4],
+		"truncated":   enc[:len(enc)-3],
+		"half header": enc[:10],
+	}
+	for name, b := range cases {
+		if _, err := DecodeExamples(b); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestExampleCodecGeneratedShards(t *testing.T) {
+	// Every algorithm's generated data must survive the columnar layout.
+	for _, kind := range []Kind{MLR, Lasso, NMF, LDA} {
+		cfg := Config{Kind: kind, Features: 12, Classes: 3, Rows: 40}
+		shards, err := GenerateShards(cfg, 2, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, sh := range shards {
+			enc := AppendExamples(nil, sh.Examples)
+			out, err := DecodeExamples(enc)
+			if err != nil {
+				t.Fatalf("%v shard %d: %v", kind, si, err)
+			}
+			if len(out) != len(sh.Examples) {
+				t.Fatalf("%v shard %d: %d examples, want %d", kind, si, len(out), len(sh.Examples))
+			}
+		}
+	}
+}

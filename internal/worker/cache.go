@@ -1,0 +1,111 @@
+package worker
+
+import (
+	"fmt"
+	"sync"
+
+	"harmony/internal/memstore"
+	"harmony/internal/metrics"
+	"harmony/internal/mlapp"
+)
+
+// blockCache is the fast COMP path's decoded-block cache: each input
+// block's columnar payload is decoded once and the []mlapp.Example view
+// is served from memory until the §IV-C spiller evicts the block. The
+// store's Evict notification invalidates the entry, so a spilled block is
+// re-decoded on its next access — compute never trains on a view the
+// residency model says was paid for again.
+//
+// Invalidation is generation-based: every eviction bumps gen, and both
+// the assembled-shard fast path (materializeShard) and in-flight decodes
+// compare generations instead of tracking per-block dirty bits. Bumping
+// on every eviction — even of a block this cache never decoded — is
+// deliberately conservative: it closes the race where a concurrent
+// SetAlpha evicts a block between its store.Get and the cache insert.
+type blockCache struct {
+	mu      sync.Mutex
+	decoded map[int][]mlapp.Example
+	gen     uint64
+
+	// Stats (under mu); the process-wide metrics.Comp counters are
+	// mirrored for /metrics, these stay per-job for tests and debugging.
+	hits   int64
+	misses int64
+}
+
+func newBlockCache() *blockCache {
+	return &blockCache{decoded: make(map[int][]mlapp.Example)}
+}
+
+// onEvent is wired as the job store's notify callback. It runs with the
+// store lock held, so it only touches cache state.
+func (c *blockCache) onEvent(e memstore.Event) {
+	if e.Kind != memstore.Evict {
+		// A reload re-reads the payload from disk; the decoded entry was
+		// already dropped when the block was evicted, so there is nothing
+		// to invalidate.
+		return
+	}
+	c.mu.Lock()
+	delete(c.decoded, e.ID)
+	c.gen++
+	c.mu.Unlock()
+}
+
+// generation reports the current invalidation generation.
+func (c *blockCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// recordHits counts n cache-served block accesses (the assembled-shard
+// fast path, which never consults the per-block map).
+func (c *blockCache) recordHits(n int64) {
+	c.mu.Lock()
+	c.hits += n
+	c.mu.Unlock()
+	metrics.Comp.ObserveBlockHits(n)
+}
+
+// get returns the decoded examples of one block, decoding (and caching)
+// on a miss. The store access happens outside the cache lock: Get may
+// block on a synchronous reload, and the store's notify callback takes
+// the cache lock while holding the store's.
+func (c *blockCache) get(store *memstore.Store, id int) ([]mlapp.Example, error) {
+	c.mu.Lock()
+	if ex, ok := c.decoded[id]; ok {
+		c.hits++
+		c.mu.Unlock()
+		metrics.Comp.ObserveBlockHits(1)
+		return ex, nil
+	}
+	startGen := c.gen
+	c.mu.Unlock()
+
+	blk, err := store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := mlapp.DecodeExamples(blk.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("block %d: %w", id, err)
+	}
+	metrics.Comp.ObserveBlockMiss()
+	c.mu.Lock()
+	c.misses++
+	if c.gen == startGen {
+		// No eviction raced the decode; the entry is safe to serve until
+		// the next Evict notification.
+		c.decoded[id] = ex
+	}
+	c.mu.Unlock()
+	return ex, nil
+}
+
+// stats returns the per-job hit/miss counters.
+func (c *blockCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,359 @@
+package worker
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/memstore"
+	"harmony/internal/mlapp"
+	"harmony/internal/ps"
+	"harmony/internal/rpc"
+)
+
+// newCompState builds a jobState around a generated shard stored in
+// columnar blocks, mirroring handleLoadJob's data-plane setup without the
+// RPC machinery, so the COMP path can be driven directly.
+func newCompState(t testing.TB, cfg mlapp.Config, rowsPerBlock int) *jobState {
+	t.Helper()
+	cfg = fillDefaults(cfg)
+	algo, err := mlapp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := mlapp.GenerateShards(cfg, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := shards[0]
+	store, err := memstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	cache := newBlockCache()
+	store.SetNotify(cache.onEvent)
+	for b := 0; b*rowsPerBlock < len(shard.Examples); b++ {
+		lo := b * rowsPerBlock
+		hi := minInt(lo+rowsPerBlock, len(shard.Examples))
+		payload := mlapp.AppendExamples(nil, shard.Examples[lo:hi])
+		if err := store.Put(&memstore.Block{ID: b, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &jobState{cfg: cfg, algo: algo, store: store, shard: shard, cache: cache}
+}
+
+func fillDefaults(cfg mlapp.Config) mlapp.Config {
+	if cfg.Features == 0 {
+		cfg.Features = 12
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 3
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 96
+	}
+	return cfg
+}
+
+// sameExamples compares two example slices bit-exactly.
+func sameExamples(t *testing.T, got, want []mlapp.Example) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("examples: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if math.Float64bits(g.Y) != math.Float64bits(w.Y) {
+			t.Fatalf("example %d: Y = %v, want %v", i, g.Y, w.Y)
+		}
+		if len(g.X) != len(w.X) || len(g.Tokens) != len(w.Tokens) {
+			t.Fatalf("example %d: shape mismatch", i)
+		}
+		for j := range g.X {
+			if math.Float64bits(g.X[j]) != math.Float64bits(w.X[j]) {
+				t.Fatalf("example %d: X[%d] = %v, want %v", i, j, g.X[j], w.X[j])
+			}
+		}
+		for j := range g.Tokens {
+			if g.Tokens[j] != w.Tokens[j] {
+				t.Fatalf("example %d: Tokens[%d] = %d, want %d", i, j, g.Tokens[j], w.Tokens[j])
+			}
+		}
+	}
+}
+
+// TestMaterializeShardCacheInvalidation walks the cache through its
+// lifecycle: cold decode, warm zero-decode fast path, spill-driven
+// invalidation, and re-decode of the reloaded blocks with no stale data.
+func TestMaterializeShardCacheInvalidation(t *testing.T) {
+	st := newCompState(t, mlapp.Config{Kind: mlapp.MLR}, 16)
+	blocks := st.store.Blocks()
+	if blocks < 2 {
+		t.Fatalf("want multiple blocks, got %d", blocks)
+	}
+
+	// Cold: every block is decoded once.
+	sh, err := st.materializeShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameExamples(t, sh.Examples, st.shard.Examples)
+	hits, misses := st.cache.stats()
+	if hits != 0 || misses != int64(blocks) {
+		t.Fatalf("cold pass: hits=%d misses=%d, want 0/%d", hits, misses, blocks)
+	}
+
+	// Warm: the assembled view is still valid, no decode at all.
+	sh2, err := st.materializeShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh2 != sh {
+		t.Fatal("warm pass rebuilt the assembled shard")
+	}
+	hits, misses = st.cache.stats()
+	if hits != int64(blocks) || misses != int64(blocks) {
+		t.Fatalf("warm pass: hits=%d misses=%d, want %d/%d", hits, misses, blocks, blocks)
+	}
+
+	// Spill half the blocks: the Evict notifications must invalidate both
+	// the per-block entries and the assembled fast path.
+	if err := st.store.SetAlpha(0.5); err != nil {
+		t.Fatal(err)
+	}
+	sh3, err := st.materializeShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameExamples(t, sh3.Examples, st.shard.Examples)
+	_, misses = st.cache.stats()
+	if misses == int64(blocks) {
+		t.Fatal("spilled blocks were served from the cache without re-decoding")
+	}
+}
+
+// TestMaterializeResidentZeroAllocs pins the fast path's contract: once a
+// fully resident shard has been assembled, further COMP subtasks perform
+// zero decode allocations.
+func TestMaterializeResidentZeroAllocs(t *testing.T) {
+	st := newCompState(t, mlapp.Config{Kind: mlapp.Lasso}, 16)
+	if _, err := st.materializeShard(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := st.materializeShard(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("resident materialize allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestMaterializeShardErrorPropagates covers the bugfix: a block that
+// cannot be decoded must surface an error (the seed silently truncated
+// the shard and trained on partial data).
+func TestMaterializeShardErrorPropagates(t *testing.T) {
+	st := newCompState(t, mlapp.Config{Kind: mlapp.MLR}, 16)
+	bad := st.store.Blocks()
+	if err := st.store.Put(&memstore.Block{ID: bad, Payload: []byte("garbage")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.materializeShard(); err == nil {
+		t.Fatal("corrupt block did not fail materialization")
+	} else if !strings.Contains(err.Error(), "materialize shard") {
+		t.Fatalf("err = %v, want materialize-shard context", err)
+	}
+	if st.assembled != nil {
+		t.Fatal("failed materialization left a partial assembled view")
+	}
+}
+
+// TestCompTeardownOnCorruptBlock verifies the drive loop treats a COMP
+// data failure like a PULL/PUSH failure: the job stops instead of
+// training on a truncated shard.
+func TestCompTeardownOnCorruptBlock(t *testing.T) {
+	w, ctl := startWorker(t)
+	self := w.srv.Addr()
+	if _, err := rpc.Invoke[LoadJobArgs, Ack](ctl, MethodLoadJob, loadArgs(w, []string{self}), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	st := w.jobs["j1"]
+	w.mu.Unlock()
+	bad := st.store.Blocks()
+	if err := st.store.Put(&memstore.Block{ID: bad, Payload: []byte("garbage")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rpc.Invoke[StartJobArgs, Ack](ctl, MethodStartJob,
+		StartJobArgs{Job: "j1", Iterations: 50}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		w.mu.Lock()
+		running, last := st.running, st.lastIter
+		w.mu.Unlock()
+		if !running {
+			if last != 0 {
+				t.Fatalf("job advanced to iteration %d on corrupt data", last)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job kept running with a corrupt input block")
+}
+
+// TestRestoreFrameRoundTrip checks that checkpointed parameters carried
+// in the float-frame codec seed the parameter servers bit-exactly.
+func TestRestoreFrameRoundTrip(t *testing.T) {
+	w, ctl := startWorker(t)
+	self := w.srv.Addr()
+	restore := make([]float64, 16) // MLR 8×2 model
+	for i := range restore {
+		restore[i] = float64(i) * 1.25
+	}
+	restore[3] = math.Copysign(0, -1)
+	restore[7] = 1e-308
+	args := loadArgs(w, []string{self})
+	args.RestoreFrame = rpc.AppendFloats(nil, restore)
+	if _, err := rpc.Invoke[LoadJobArgs, Ack](ctl, MethodLoadJob, args, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ps.NewClient([]string{self}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := make([]float64, len(restore))
+	if err := c.PullInto("j1", got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(restore[i]) {
+			t.Fatalf("param %d = %v, want %v", i, got[i], restore[i])
+		}
+	}
+
+	// A truncated frame must fail the load, not silently seed garbage.
+	args.RestoreFrame = args.RestoreFrame[:len(args.RestoreFrame)-3]
+	if _, err := rpc.Invoke[LoadJobArgs, Ack](ctl, MethodLoadJob, args, 5*time.Second); err == nil ||
+		!strings.Contains(err.Error(), "restore frame") {
+		t.Fatalf("truncated restore frame: err = %v", err)
+	}
+}
+
+// TestCompPathRaceSmoke exercises the materialize loop against concurrent
+// spill-ratio retunes (the SetAlpha RPC) and the background reloader; run
+// under -race it guards the cache's generation protocol.
+func TestCompPathRaceSmoke(t *testing.T) {
+	st := newCompState(t, mlapp.Config{Kind: mlapp.NMF}, 8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		alphas := []float64{0.5, 0, 0.75, 0.25}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := st.store.SetAlpha(alphas[i%len(alphas)]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		sh, err := st.materializeShard()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sh.Examples) != len(st.shard.Examples) {
+			t.Fatalf("iteration %d: %d examples, want %d", i, len(sh.Examples), len(st.shard.Examples))
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// BenchmarkComp compares one steady-state COMP subtask on the fast path
+// (decoded-block cache + fused multicore kernel) against a faithful
+// replica of the seed implementation (gob-decode every block per
+// iteration, serial ComputeInto, separate Loss pass). The replica lives
+// here so the comparison survives as the packages evolve.
+func BenchmarkComp(b *testing.B) {
+	cfg := mlapp.Config{Features: 32, Classes: 8, Rows: 512}
+	for _, kind := range []mlapp.Kind{mlapp.MLR, mlapp.Lasso, mlapp.NMF, mlapp.LDA} {
+		cfg.Kind = kind
+		b.Run(kind.String()+"/cached_binary_parallel", func(b *testing.B) {
+			benchCompFast(b, cfg, 0)
+		})
+		b.Run(kind.String()+"/seed_gob_single", func(b *testing.B) {
+			benchCompGob(b, cfg)
+		})
+	}
+}
+
+func benchCompFast(b *testing.B, cfg mlapp.Config, workers int) {
+	st := newCompState(b, cfg, 32)
+	rng := newBenchRng()
+	model := st.algo.InitModel(rng)
+	if _, err := st.materializeShard(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shard, err := st.materializeShard()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.delta, _ = mlapp.ComputeFused(st.algo, st.delta, model, shard, rng, workers, &st.scratch)
+	}
+}
+
+// benchCompGob replays the seed COMP subtask: gob payloads decoded on
+// every iteration, freshly assembled shard, serial update pass, then a
+// second full pass for the loss.
+func benchCompGob(b *testing.B, cfg mlapp.Config) {
+	st := newCompState(b, cfg, 32)
+	rng := newBenchRng()
+	model := st.algo.InitModel(rng)
+	const rowsPerBlock = 32
+	var payloads [][]byte
+	for lo := 0; lo < len(st.shard.Examples); lo += rowsPerBlock {
+		hi := minInt(lo+rowsPerBlock, len(st.shard.Examples))
+		p, err := rpc.Encode(st.shard.Examples[lo:hi])
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads = append(payloads, p)
+	}
+	var delta []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := &mlapp.Shard{Kind: st.shard.Kind, RowOffset: st.shard.RowOffset}
+		for _, p := range payloads {
+			var examples []mlapp.Example
+			if err := rpc.Decode(p, &examples); err != nil {
+				b.Fatal(err)
+			}
+			out.Examples = append(out.Examples, examples...)
+		}
+		delta = st.algo.ComputeInto(delta, model, out, rng)
+		_ = st.algo.Loss(model, out)
+	}
+	_ = delta
+}
+
+func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(7)) }

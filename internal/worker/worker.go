@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/memstore"
 	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
+	"harmony/internal/parallel"
 	"harmony/internal/ps"
 	"harmony/internal/rpc"
 	"harmony/internal/subtask"
@@ -46,10 +48,13 @@ type LoadJobArgs struct {
 	ShardCount int
 	Seed       int64
 	// InitModel is set on exactly one worker per group to seed the
-	// parameter servers. Restore carries checkpointed parameters
-	// instead when a migrated job resumes (§IV-B4).
-	InitModel bool
-	Restore   []float64
+	// parameter servers. RestoreFrame carries checkpointed parameters
+	// instead when a migrated job resumes (§IV-B4), encoded as one
+	// data-plane float frame (rpc.AppendFloats) so large-model
+	// migrations ride the binary codec rather than gob's reflective
+	// per-element walk.
+	InitModel    bool
+	RestoreFrame []byte
 	// Alpha is the initial disk-block ratio for the shard store.
 	Alpha float64
 }
@@ -94,7 +99,11 @@ type StatsReply struct {
 	// workers run as separate processes. CommProcess identifies the
 	// owning process — in-process workers share one counter set and the
 	// aggregator must count it once.
-	Comm        metrics.CommSnapshot
+	Comm metrics.CommSnapshot
+	// Comp is this process's compute-path health (decoded-block cache
+	// hits/misses, reload-stall seconds), aggregated like Comm and
+	// deduplicated by the same CommProcess id.
+	Comp        metrics.CompSnapshot
 	CommProcess string
 }
 
@@ -151,16 +160,33 @@ type jobState struct {
 	running  bool
 	lastIter int
 	// model and delta are reused across iterations: PullInto decodes the
-	// pulled parameters straight into model and ComputeInto writes the
-	// update into delta, so the steady-state cycle allocates nothing.
+	// pulled parameters straight into model and the fused COMP kernel
+	// writes the update into delta, so the steady-state cycle allocates
+	// nothing.
 	model []float64
 	delta []float64
+	// The fast COMP path (DESIGN.md §9): cache holds per-block decoded
+	// examples, assembled is the stitched shard view valid while
+	// assembledGen matches the cache generation, examplesBuf is its
+	// reused backing array, and scratch is the fused kernel's per-chunk
+	// arena. Only the drive goroutine touches assembled/examplesBuf/
+	// scratch; cache is shared with the store's notify callback.
+	cache        *blockCache
+	assembled    *mlapp.Shard
+	assembledGen uint64
+	examplesBuf  []mlapp.Example
+	scratch      mlapp.Scratch
 }
 
 // Worker is the live worker runtime. Create with New, then Close.
 type Worker struct {
 	name     string
 	spillDir string
+	// compWorkers bounds the fused COMP kernel's core pool; 0 selects
+	// GOMAXPROCS. Atomic so a live retune never races the drive loop.
+	// The executor runs one COMP subtask at a time (§IV-A), so the
+	// kernel may saturate the pool without oversubscribing.
+	compWorkers atomic.Int32
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
@@ -237,18 +263,17 @@ func (w *Worker) handleLoadJob(a LoadJobArgs) (Ack, error) {
 		return Ack{}, err
 	}
 	// Input data lives in the block store so the spill/reload mechanism
-	// governs its residency (§IV-C): one block per bundle of examples.
+	// governs its residency (§IV-C): one block per bundle of examples,
+	// encoded in the columnar binary layout the fast COMP path decodes
+	// once per residency period.
 	shard := shards[idx]
 	const rowsPerBlock = 32
+	cache := newBlockCache()
+	store.SetNotify(cache.onEvent)
 	for b := 0; b*rowsPerBlock < len(shard.Examples); b++ {
 		lo := b * rowsPerBlock
 		hi := minInt(lo+rowsPerBlock, len(shard.Examples))
-		payload, err := rpc.Encode(shard.Examples[lo:hi])
-		if err != nil {
-			client.Close()
-			store.Close()
-			return Ack{}, err
-		}
+		payload := mlapp.AppendExamples(nil, shard.Examples[lo:hi])
 		if err := store.Put(&memstore.Block{ID: b, Payload: payload}); err != nil {
 			client.Close()
 			store.Close()
@@ -265,10 +290,18 @@ func (w *Worker) handleLoadJob(a LoadJobArgs) (Ack, error) {
 	st := &jobState{
 		cfg: a.Config, algo: algo, client: client, store: store,
 		shard: shard, rng: rng, stopCh: make(chan struct{}),
+		cache: cache,
 	}
 	if a.InitModel {
-		model := a.Restore
-		if model == nil {
+		var model []float64
+		if a.RestoreFrame != nil {
+			model, _, err = rpc.ReadFloats(a.RestoreFrame, nil)
+			if err != nil {
+				client.Close()
+				store.Close()
+				return Ack{}, fmt.Errorf("worker %s: restore frame: %w", w.name, err)
+			}
+		} else {
 			model = algo.InitModel(rng)
 		}
 		if err := client.Init(a.Job, model); err != nil {
@@ -352,19 +385,34 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 			return // servers gone: the master is tearing the job down
 		}
 
-		// COMP subtask: reload-gated data access plus real computation,
-		// writing the update into the reused delta buffer.
+		// COMP subtask: reload-gated data access plus real computation.
+		// The shard comes from the decoded-block cache (re-decoding only
+		// blocks the spiller evicted), and the fused multicore kernel
+		// produces the update and the loss in one pass over the data,
+		// writing into the reused delta buffer.
+		var compErr error
 		stepDone = make(chan struct{})
 		start = time.Now()
 		if err := w.exec.Submit(subtask.Comp, job, func() {
-			shard := w.materializeShard(st)
-			st.delta = st.algo.ComputeInto(st.delta, model, shard, st.rng)
-			loss = st.algo.Loss(model, shard)
+			shard, err := st.materializeShard()
+			if err != nil {
+				compErr = err
+				return
+			}
+			st.delta, loss = mlapp.ComputeFused(st.algo, st.delta, model, shard,
+				st.rng, int(w.compWorkers.Load()), &st.scratch)
 		}, func() { close(stepDone) }); err != nil {
 			return
 		}
 		<-stepDone
 		compSecs = time.Since(start).Seconds()
+		if compErr != nil {
+			// Input data unavailable or corrupt: training on a truncated
+			// shard would silently skew the model and its loss. Tear the
+			// job down exactly like a PULL/PUSH failure — the master's
+			// recovery path restarts it from the last checkpoint.
+			return
+		}
 
 		// PUSH subtask.
 		var pushErr error
@@ -400,28 +448,51 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 		JobDoneArgs{Job: job, Worker: w.name, Epoch: epoch}, time.Minute)
 }
 
-// materializeShard assembles the shard from the block store, paying
+// materializeShard assembles the shard view for one COMP subtask, paying
 // reload latency for spilled blocks (the §IV-C stall when the background
-// reloader has not caught up).
-func (w *Worker) materializeShard(st *jobState) *mlapp.Shard {
-	out := &mlapp.Shard{Kind: st.shard.Kind, RowOffset: st.shard.RowOffset}
-	for b := 0; b < st.store.Blocks(); b++ {
+// reloader has not caught up) and decoding only blocks the cache lost to
+// eviction. A fully resident shard takes the zero-allocation fast path:
+// the assembled view from the previous iteration is still valid because
+// no eviction bumped the cache generation.
+//
+// An error — a missing block, a failed reload, a corrupt payload — means
+// the shard cannot be assembled whole; the caller tears the job down
+// rather than training on partial data with a silently wrong loss.
+func (st *jobState) materializeShard() (*mlapp.Shard, error) {
+	blocks := st.store.Blocks()
+	// The generation is sampled before assembly: if an eviction races the
+	// loop below, the stored generation won't match and the next
+	// iteration re-assembles.
+	gen := st.cache.generation()
+	if st.assembled != nil && st.assembledGen == gen {
+		st.cache.recordHits(int64(blocks))
+		return st.assembled, nil
+	}
+	st.examplesBuf = st.examplesBuf[:0]
+	for b := 0; b < blocks; b++ {
 		// Prefetch the next block while decoding this one.
 		st.store.Prefetch(b + 1)
-		blk, err := st.store.Get(b)
+		examples, err := st.cache.get(st.store, b)
 		if err != nil {
-			break
+			st.assembled = nil
+			return nil, fmt.Errorf("materialize shard: %w", err)
 		}
-		var examples []mlapp.Example
-		if err := rpc.Decode(blk.Payload, &examples); err != nil {
-			break
-		}
-		out.Examples = append(out.Examples, examples...)
+		st.examplesBuf = append(st.examplesBuf, examples...)
 	}
 	// Re-apply the spill target: reloaded blocks beyond the α budget go
-	// back to disk.
-	_ = st.store.SetAlpha(st.store.Alpha())
-	return out
+	// back to disk (their cache entries are invalidated by the Evict
+	// notification, which is why the fast path only holds for fully
+	// resident shards).
+	if err := st.store.SetAlpha(st.store.Alpha()); err != nil {
+		st.assembled = nil
+		return nil, fmt.Errorf("materialize shard: %w", err)
+	}
+	st.assembled = &mlapp.Shard{
+		Kind: st.shard.Kind, RowOffset: st.shard.RowOffset,
+		Examples: st.examplesBuf,
+	}
+	st.assembledGen = gen
+	return st.assembled, nil
 }
 
 func (w *Worker) handleDropJob(a DropJobArgs) (Ack, error) {
@@ -456,7 +527,16 @@ func (w *Worker) handleStats(StatsArgs) (StatsReply, error) {
 	jobs := len(w.jobs)
 	w.mu.Unlock()
 	return StatsReply{CPUUtil: cpu, NetUtil: net, Jobs: jobs,
-		Comm: metrics.Comm.Snapshot(), CommProcess: metrics.ProcessID()}, nil
+		Comm: metrics.Comm.Snapshot(), Comp: metrics.Comp.Snapshot(),
+		CommProcess: metrics.ProcessID()}, nil
+}
+
+// SetCompParallelism bounds the fused COMP kernel's core pool (0 restores
+// the GOMAXPROCS default). Results are bit-identical at any setting; only
+// wall time changes. Safe to call while jobs run — the next COMP subtask
+// picks it up.
+func (w *Worker) SetCompParallelism(n int) {
+	w.compWorkers.Store(int32(parallel.Workers(n)))
 }
 
 // Name reports the worker's registered name.

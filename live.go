@@ -226,6 +226,11 @@ func StartWorker(name, addr, masterAddr, spillDir string) (*Worker, error) {
 // Name reports the worker's registered name.
 func (w *Worker) Name() string { return w.w.Name() }
 
+// SetCompParallelism bounds the fused COMP kernel's core pool (0 selects
+// GOMAXPROCS). Results are bit-identical at any setting; only wall time
+// changes.
+func (w *Worker) SetCompParallelism(n int) { w.w.SetCompParallelism(n) }
+
 // Close stops the worker's jobs and servers.
 func (w *Worker) Close() { w.w.Close() }
 
