@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke bench-smoke bench-report bench-comm bench-comp
+## VERSION is stamped into the binaries (and harmony_build_info) via the
+## linker; override with `make build VERSION=v1.2.3`.
+VERSION ?= dev
+LDFLAGS := -ldflags "-X harmony/internal/obs.Version=$(VERSION)"
+
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke bench-smoke bench-report bench-comm bench-comp trace-demo
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke comp-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -16,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -40,6 +45,13 @@ comm-smoke:
 comp-smoke:
 	$(GO) test -race -run 'TestCompPathRaceSmoke' ./internal/worker/
 
+## obs-smoke: race-enabled pass over the tracing subsystem (span ring,
+## histograms, traced 2-job live cluster with a worker killed mid-run)
+obs-smoke:
+	$(GO) test -race ./internal/obs/ ./internal/metrics/
+	$(GO) test -race -run 'TestExecutorRecordsSpans' ./internal/subtask/
+	$(GO) test -race -run 'TestTracedClusterOverHTTP' ./internal/ctl/
+
 ## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
 bench-smoke:
 	$(GO) test ./internal/core/ -run XXX -bench BenchmarkScheduleLarge -benchmem -benchtime 3x
@@ -62,3 +74,8 @@ bench-comm:
 bench-comp:
 	$(GO) test ./internal/worker/ -run XXX -bench 'BenchmarkComp' -benchmem
 	$(GO) run ./cmd/harmony-bench -bench-comp
+
+## trace-demo: run a traced 2-worker, 2-job live cluster and write
+## trace.json (open at https://ui.perfetto.dev)
+trace-demo:
+	$(GO) run $(LDFLAGS) ./cmd/harmony-trace-demo -o trace.json

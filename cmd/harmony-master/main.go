@@ -31,6 +31,7 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7070", "address to serve workers on")
 	api := fs.String("api", "127.0.0.1:8080", "address to serve the HTTP control plane on (empty disables)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/ on the control plane")
+	traceOn := fs.Bool("trace", false, "collect subtask spans from tracing workers; serves /v1/trace and phase histograms")
 	workers := fs.Int("workers", 2, "number of workers to wait for")
 	wait := fs.Duration("wait", 5*time.Minute, "how long to wait for workers")
 	drain := fs.Duration("drain", 30*time.Second, "per-job checkpoint budget during shutdown")
@@ -45,6 +46,9 @@ func run(args []string) error {
 		return err
 	}
 	defer m.Close()
+	if *traceOn {
+		m.EnableTracing()
+	}
 	fmt.Printf("master listening on %s, waiting for %d workers...\n", m.Addr(), *workers)
 	if err := m.WaitForWorkers(*workers, *wait); err != nil {
 		return err
@@ -66,6 +70,9 @@ func run(args []string) error {
 			cp.Addr(), cp.Addr())
 		if *pprofOn {
 			fmt.Printf("pprof on http://%s/debug/pprof/\n", cp.Addr())
+		}
+		if *traceOn {
+			fmt.Printf("tracing on (workers need -trace too): harmonyctl -addr http://%s trace -o trace.json\n", cp.Addr())
 		}
 	}
 

@@ -30,6 +30,7 @@ func run(args []string) error {
 	spill := fs.String("spill", "", "directory for spilled input blocks (default: temp dir)")
 	compParallel := fs.Int("comp-parallel", 0,
 		"core pool for the fused COMP kernel (0 = GOMAXPROCS; results are bit-identical at any setting)")
+	traceOn := fs.Bool("trace", false, "record subtask/barrier spans for the master's /v1/trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +52,9 @@ func run(args []string) error {
 	}
 	defer w.Close()
 	w.SetCompParallelism(*compParallel)
+	if *traceOn {
+		w.EnableTracing()
+	}
 	fmt.Printf("worker %s registered with master %s (spill dir %s)\n", *name, *master, dir)
 
 	sig := make(chan os.Signal, 1)

@@ -11,6 +11,8 @@
 //	status   show one job
 //	cancel   cancel a pending or running job
 //	cluster  show workers, groups and the admission queue
+//	events   show the scheduler decision journal (predicted vs measured T_itr/U)
+//	trace    fetch the Chrome trace-event JSON (-o trace.json; load in Perfetto)
 package main
 
 import (
@@ -35,7 +37,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster} [flags]")
+	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|events|trace} [flags]")
 }
 
 func run(args []string) error {
@@ -68,6 +70,10 @@ func run(args []string) error {
 		return cmdCancel(c, rest[0])
 	case "cluster":
 		return cmdCluster(c)
+	case "events":
+		return cmdEvents(c)
+	case "trace":
+		return cmdTrace(c, rest)
 	default:
 		return usage()
 	}
@@ -112,6 +118,21 @@ func (c *client) do(method, path string, body, out any) error {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// raw fetches a path and returns the response body verbatim, for
+// endpoints whose payload is passed through rather than rendered
+// (/v1/trace).
+func (c *client) raw(path string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 func cmdSubmit(c *client, args []string) error {
@@ -204,6 +225,78 @@ func cmdCancel(c *client, name string) error {
 		return err
 	}
 	fmt.Printf("%s canceled\n", name)
+	return nil
+}
+
+// cmdEvents prints the scheduler decision journal: one line per
+// decision with the model's predicted T_itr/U beside the measured
+// values, so prediction error is visible per decision.
+func cmdEvents(c *client) error {
+	var resp ctl.EventsResponse
+	if err := c.do(http.MethodGet, "/v1/events", nil, &resp); err != nil {
+		return err
+	}
+	if len(resp.Events) == 0 {
+		fmt.Println("no events")
+		return nil
+	}
+	fmt.Printf("%4s %-8s %-14s %-16s %10s %10s %12s %12s  %s\n",
+		"SEQ", "TIME", "KIND", "JOB", "PRED_TITR", "MEAS_TITR", "PRED_U", "MEAS_U", "GROUP/NOTE")
+	for _, e := range resp.Events {
+		detail := strings.Join(e.Group, ",")
+		if e.Note != "" {
+			if detail != "" {
+				detail += " — "
+			}
+			detail += e.Note
+		}
+		fmt.Printf("%4d %-8s %-14s %-16s %10s %10s %12s %12s  %s\n",
+			e.Seq, e.Time.Format("15:04:05"), e.Kind, e.Job,
+			fmtSeconds(e.PredictedIterSeconds), fmtSeconds(e.MeasuredIterSeconds),
+			fmtUtil(e.PredictedCPUUtil, e.PredictedNetUtil),
+			fmtUtil(e.MeasuredCPUUtil, e.MeasuredNetUtil),
+			detail)
+	}
+	return nil
+}
+
+// fmtSeconds renders an iteration time, blank when unmeasured.
+func fmtSeconds(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", s*1000)
+}
+
+// fmtUtil renders a (cpu, net) utilization pair, blank when unmodeled.
+func fmtUtil(cpu, net float64) string {
+	if cpu == 0 && net == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%/%.0f%%", cpu*100, net*100)
+}
+
+// cmdTrace saves the cluster's Chrome trace-event JSON; open the file at
+// https://ui.perfetto.dev to see COMP/PULL/PUSH/barrier spans per
+// machine and resource track.
+func cmdTrace(c *client, args []string) error {
+	fs := flag.NewFlagSet("harmonyctl trace", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := c.raw("/v1/trace")
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bytes to %s (load in https://ui.perfetto.dev)\n", len(body), *out)
 	return nil
 }
 

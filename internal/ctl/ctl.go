@@ -11,7 +11,9 @@
 //	GET    /v1/jobs/{name}   one job's status
 //	DELETE /v1/jobs/{name}   cancel a pending or running job
 //	GET    /v1/cluster       workers, groups, queue
-//	GET    /healthz          liveness
+//	GET    /v1/events        scheduler decision journal
+//	GET    /v1/trace         Chrome trace-event JSON of collected spans
+//	GET    /healthz          liveness + uptime
 //	GET    /metrics          Prometheus text format
 package ctl
 
@@ -29,6 +31,7 @@ import (
 	"harmony/internal/master"
 	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
+	"harmony/internal/obs"
 )
 
 // Backend is what the control plane needs from the live master;
@@ -44,6 +47,11 @@ type Backend interface {
 	WorkerStats() (cpu, net float64, err error)
 	CommStats() metrics.CommSnapshot
 	CompStats() metrics.CompSnapshot
+	Events() []master.Event
+	TracingEnabled() bool
+	CollectSpans() []obs.TaggedSpan
+	PhaseStats() (hist [obs.NumPhases]metrics.HistSnapshot, ok bool)
+	MeasuredOverlap() map[string]float64
 }
 
 var _ Backend = (*master.Master)(nil)
@@ -56,6 +64,8 @@ var routes = []string{
 	"GET /v1/jobs/{name}",
 	"DELETE /v1/jobs/{name}",
 	"GET /v1/cluster",
+	"GET /v1/events",
+	"GET /v1/trace",
 	"GET /healthz",
 	"GET /metrics",
 }
@@ -85,6 +95,8 @@ func New(b Backend) *Server {
 	s.handle("GET /v1/jobs/{name}", s.handleGetJob)
 	s.handle("DELETE /v1/jobs/{name}", s.handleCancelJob)
 	s.handle("GET /v1/cluster", s.handleCluster)
+	s.handle("GET /v1/events", s.handleEvents)
+	s.handle("GET /v1/trace", s.handleTrace)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	return s
@@ -215,8 +227,15 @@ type ClusterResponse struct {
 
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
-	Status  string `json:"status"`
-	Workers int    `json:"workers"`
+	Status        string  `json:"status"`
+	Workers       int     `json:"workers"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// EventsResponse is the GET /v1/events body.
+type EventsResponse struct {
+	Events []master.Event `json:"events"`
 }
 
 // ErrorResponse is the envelope of every non-2xx response.

@@ -10,6 +10,7 @@ import (
 
 	"harmony/internal/master"
 	"harmony/internal/metrics"
+	"harmony/internal/obs"
 )
 
 // fakeBackend scripts the master's control-plane surface for handler
@@ -24,6 +25,11 @@ type fakeBackend struct {
 	comm       metrics.CommSnapshot
 	comp       metrics.CompSnapshot
 	statsErr   error
+	events     []master.Event
+	traced     bool
+	spans      []obs.TaggedSpan
+	phaseHist  [obs.NumPhases]metrics.HistSnapshot
+	overlap    map[string]float64
 	lastSpec   master.JobSpec
 	lastProf   master.Profile
 	lastGroup  []string
@@ -76,6 +82,18 @@ func (f *fakeBackend) CommStats() metrics.CommSnapshot {
 func (f *fakeBackend) CompStats() metrics.CompSnapshot {
 	return f.comp
 }
+
+func (f *fakeBackend) Events() []master.Event { return f.events }
+
+func (f *fakeBackend) TracingEnabled() bool { return f.traced }
+
+func (f *fakeBackend) CollectSpans() []obs.TaggedSpan { return f.spans }
+
+func (f *fakeBackend) PhaseStats() ([obs.NumPhases]metrics.HistSnapshot, bool) {
+	return f.phaseHist, f.traced
+}
+
+func (f *fakeBackend) MeasuredOverlap() map[string]float64 { return f.overlap }
 
 func doReq(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
@@ -384,5 +402,117 @@ func TestMetricsSkipsUtilizationOnStatsError(t *testing.T) {
 	}
 	if strings.Contains(w.Body.String(), "harmony_utilization") {
 		t.Error("utilization emitted despite stats error")
+	}
+}
+
+func TestHealthzReportsUptimeAndVersion(t *testing.T) {
+	s := New(&fakeBackend{})
+	w := doReq(t, s, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version == "" || h.UptimeSeconds < 0 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	f := &fakeBackend{events: []master.Event{
+		{Seq: 1, Kind: master.EventAdmitInitial, Job: "a",
+			Group:                []string{"w0", "w1"},
+			PredictedIterSeconds: 2.5, PredictedCPUUtil: 0.8,
+			MeasuredIterSeconds: 2.7},
+	}}
+	s := New(f)
+	w := doReq(t, s, http.MethodGet, "/v1/events", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var out EventsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != 1 {
+		t.Fatalf("events = %+v", out.Events)
+	}
+	e := out.Events[0]
+	if e.Kind != master.EventAdmitInitial || e.PredictedIterSeconds != 2.5 ||
+		e.MeasuredIterSeconds != 2.7 {
+		t.Errorf("event round-trip = %+v", e)
+	}
+	// An empty journal still yields a JSON array, not null.
+	w = doReq(t, s, http.MethodGet, "/v1/events", "")
+	f.events = nil
+	w = doReq(t, s, http.MethodGet, "/v1/events", "")
+	if !strings.Contains(w.Body.String(), `"events":[]`) {
+		t.Errorf("empty journal body = %s", w.Body.String())
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	f := &fakeBackend{traced: true, spans: []obs.TaggedSpan{
+		{Span: obs.Span{Seq: 1, Phase: obs.PhaseComp, Job: "a",
+			Start: 1_000_000, End: 2_000_000}, Machine: "w0", Group: "w0"},
+	}}
+	s := New(f)
+	w := doReq(t, s, http.MethodGet, "/v1/trace", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("no trace events rendered")
+	}
+	// Tracing off: still valid, empty trace.
+	f.traced, f.spans = false, nil
+	w = doReq(t, s, http.MethodGet, "/v1/trace", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &tr); err != nil || w.Code != http.StatusOK {
+		t.Errorf("disabled trace: code %d err %v", w.Code, err)
+	}
+}
+
+func TestMetricsPhaseHistogramsAndOverlap(t *testing.T) {
+	f := &fakeBackend{traced: true, overlap: map[string]float64{"w0,w1": 0.4}}
+	var h metrics.Histogram
+	h.Observe(0.01)
+	f.phaseHist[obs.PhaseComp] = h.Snapshot()
+	s := New(f)
+	w := doReq(t, s, http.MethodGet, "/metrics", "")
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE harmony_phase_seconds histogram",
+		`harmony_phase_seconds_bucket{phase="comp",le="+Inf"} 1`,
+		`harmony_phase_seconds_count{phase="comp"} 1`,
+		`harmony_phase_seconds_count{phase="pull"} 0`,
+		`harmony_group_overlap_ratio{group="w0,w1"} 0.4`,
+		`harmony_build_info{version="`,
+		"harmony_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics:\n%s", want, body)
+		}
+	}
+
+	// Tracing off: histogram families and overlap gauges disappear, build
+	// info stays.
+	s2 := New(&fakeBackend{})
+	body2 := doReq(t, s2, http.MethodGet, "/metrics", "").Body.String()
+	if strings.Contains(body2, "harmony_phase_seconds") {
+		t.Error("phase histograms rendered with tracing off")
+	}
+	if !strings.Contains(body2, "harmony_build_info") {
+		t.Error("build info missing with tracing off")
 	}
 }

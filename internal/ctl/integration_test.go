@@ -236,3 +236,153 @@ func TestHTTPDuplicateAndUnknown(t *testing.T) {
 		t.Fatalf("cancel a: code %d", code)
 	}
 }
+
+// TestTracedClusterOverHTTP drives a live 2-job cluster with tracing on
+// and checks the whole telemetry surface: /v1/trace yields Chrome
+// trace-event JSON with COMP and COMM spans from both jobs sharing a
+// machine, /metrics grows harmony_phase_seconds histogram families and
+// the per-group overlap gauge, and /v1/events pairs the model's
+// predicted T_itr with measured iteration times. Finally a worker is
+// torn down mid-run and the trace scrape must still succeed — trace
+// collection is best effort like the stats aggregators.
+func TestTracedClusterOverHTTP(t *testing.T) {
+	m, err := master.New("127.0.0.1:0", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.EnableTracing(0)
+	workers := make([]*worker.Worker, 2)
+	for i := range workers {
+		w, _, err := worker.New(
+			fmt.Sprintf("w%d", i), "127.0.0.1:0", m.Addr(), t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.EnableTracing(0)
+		workers[i] = w
+		t.Cleanup(w.Close)
+	}
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := ctl.New(m)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	base := "http://" + s.Addr()
+
+	// Two long-running jobs sharing both workers, so COMP of one can
+	// overlap COMM of the other on the same machine. Job b is shaped as
+	// a's complement from a's measured profile, so the arrival rule
+	// co-locates it with a (same pattern as TestOnlineArrivalOverHTTP).
+	var adm ctl.SubmitResponse
+	if code := httpJSON(t, http.MethodPost, base+"/v1/jobs",
+		submitBody("a", "mlr", 100000, nil), &adm); code != http.StatusCreated {
+		t.Fatalf("submit a: code %d", code)
+	}
+	prof := pollJob(t, base, "a", 30*time.Second, func(j ctl.JobResponse) bool {
+		return j.Profiled && j.CompSeconds > 0 && j.NetSeconds > 0
+	})
+	mirror := &ctl.ProfileHints{
+		CompSeconds: 2 * prof.NetSeconds,
+		NetSeconds:  prof.CompSeconds / 2,
+	}
+	if code := httpJSON(t, http.MethodPost, base+"/v1/jobs",
+		submitBody("b", "lasso", 100000, mirror), &adm); code != http.StatusCreated {
+		t.Fatalf("submit b: code %d (%+v)", code, adm)
+	}
+	for _, name := range []string{"a", "b"} {
+		pollJob(t, base, name, 30*time.Second, func(j ctl.JobResponse) bool {
+			return j.Iteration >= 5
+		})
+	}
+
+	// The trace must parse as Chrome trace-event JSON and contain COMP
+	// and COMM slices from both jobs on a shared machine (pid).
+	var tr struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if code := httpJSON(t, http.MethodGet, base+"/v1/trace", nil, &tr); code != http.StatusOK {
+		t.Fatalf("trace: code %d", code)
+	}
+	type pj struct {
+		pid int
+		job string
+	}
+	compBy := make(map[pj]bool)
+	commBy := make(map[pj]bool)
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		job, _ := e.Args["job"].(string)
+		switch e.Cat {
+		case "comp":
+			compBy[pj{e.PID, job}] = true
+		case "pull", "push":
+			commBy[pj{e.PID, job}] = true
+		}
+	}
+	sharedMachine := false
+	for k := range compBy {
+		other := pj{k.pid, "a"}
+		if k.job == "a" {
+			other.job = "b"
+		}
+		if commBy[other] || compBy[other] {
+			sharedMachine = true
+		}
+	}
+	if len(compBy) == 0 || len(commBy) == 0 || !sharedMachine {
+		t.Errorf("trace lacks co-located COMP/COMM spans from both jobs: comp=%v comm=%v",
+			compBy, commBy)
+	}
+
+	// Histograms and overlap reach /metrics.
+	mtx := fetchMetrics(t, base)
+	for _, want := range []string{
+		"# TYPE harmony_phase_seconds histogram",
+		`harmony_phase_seconds_bucket{phase="comp",le="+Inf"}`,
+		`harmony_phase_seconds_count{phase="pull"}`,
+		"harmony_group_overlap_ratio{group=\"w0,w1\"}",
+		"harmony_build_info",
+	} {
+		if !strings.Contains(mtx, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The journal has the initial admission of a with a model prediction
+	// and — since both jobs have completed iterations — a measured T_itr.
+	var evs ctl.EventsResponse
+	if code := httpJSON(t, http.MethodGet, base+"/v1/events", nil, &evs); code != http.StatusOK {
+		t.Fatalf("events: code %d", code)
+	}
+	paired := false
+	for _, e := range evs.Events {
+		if e.Job == "b" && e.Kind == master.EventAdmitArrival &&
+			e.PredictedIterSeconds > 0 && e.MeasuredIterSeconds > 0 {
+			paired = true
+		}
+	}
+	if !paired {
+		t.Errorf("no decision pairing predicted and measured T_itr: %+v", evs.Events)
+	}
+
+	// Tear one worker down mid-run: the next scrape skips it instead of
+	// failing (best effort, like WorkerStats).
+	workers[1].Close()
+	if code := httpJSON(t, http.MethodGet, base+"/v1/trace", nil, &tr); code != http.StatusOK {
+		t.Errorf("trace after worker teardown: code %d, want 200", code)
+	}
+	if resp := fetchMetrics(t, base); !strings.Contains(resp, "harmony_phase_seconds") {
+		t.Errorf("metrics after worker teardown lost phase histograms")
+	}
+}

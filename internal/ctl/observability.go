@@ -2,11 +2,17 @@ package ctl
 
 import (
 	"net/http"
+	"sort"
 	"strings"
+	"time"
 
 	"harmony/internal/master"
 	"harmony/internal/metrics"
+	"harmony/internal/obs"
 )
+
+// processStart anchors the /healthz uptime report.
+var processStart = time.Now()
 
 // jobStates is the fixed label set of harmony_jobs; every state is
 // always emitted so dashboards see zeros instead of gaps.
@@ -20,7 +26,33 @@ var jobStates = []master.JobStatus{
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cv := s.b.Cluster()
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Workers: len(cv.Workers)})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Workers:       len(cv.Workers),
+		Version:       obs.Version,
+		UptimeSeconds: time.Since(processStart).Seconds(),
+	})
+}
+
+// handleEvents serves the scheduler decision journal: every admission,
+// hold, regroup, recovery and completion with the model's predicted
+// T_itr/U beside the measured values.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.b.Events()
+	if evs == nil {
+		evs = []master.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: evs})
+}
+
+// handleTrace collects spans from the workers (best effort: a worker
+// mid-restart is skipped, never an error) and renders them as Chrome
+// trace-event JSON loadable in Perfetto. With tracing disabled the body
+// is a valid empty trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.b.CollectSpans()
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, spans)
 }
 
 // handleMetrics renders the control-plane inventory in the Prometheus
@@ -97,6 +129,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// across the cluster: this process plus every worker process.
 	samples = append(samples, metrics.CommSamples(s.b.CommStats())...)
 	samples = append(samples, metrics.CompSamples(s.b.CompStats())...)
+	samples = append(samples,
+		metrics.Sample{Name: `harmony_build_info{version="` + obs.Version + `"}`,
+			Help: "Build metadata; the value is always 1.",
+			Type: metrics.PromGauge, Value: 1},
+		metrics.Sample{Name: "harmony_uptime_seconds",
+			Help: "Seconds since this control plane started.",
+			Type: metrics.PromGauge, Value: time.Since(processStart).Seconds()},
+	)
+	// Phase latency histograms and measured COMP/COMM overlap, present
+	// only when the master collects traces (-trace).
+	if hist, ok := s.b.PhaseStats(); ok {
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			samples = metrics.AppendHistogram(samples, "harmony_phase_seconds",
+				"Latency of worker subtask phases, by phase.",
+				`phase="`+p.String()+`"`, hist[p])
+		}
+		overlap := s.b.MeasuredOverlap()
+		groups := make([]string, 0, len(overlap))
+		for g := range overlap {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		for _, g := range groups {
+			samples = append(samples, metrics.Sample{
+				Name: `harmony_group_overlap_ratio{group="` + g + `"}`,
+				Help: "Measured fraction of machine busy time where COMP and COMM subtasks overlapped, per co-location group.",
+				Type: metrics.PromGauge, Value: overlap[g],
+			})
+		}
+	}
 	s.mu.Lock()
 	for _, route := range routes {
 		samples = append(samples, metrics.Sample{

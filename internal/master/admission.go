@@ -150,19 +150,24 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 		m.mu.Unlock()
 		return Admission{}, fmt.Errorf("master: duplicate job %q: %w", spec.Name, ErrDuplicateJob)
 	}
-	group, initial, ok := m.admitLocked(info)
+	group, predicted, initial, ok := m.admitLocked(info)
 	if !ok {
 		m.pending = append(m.pending, &pendingJob{spec: spec, info: info})
 		m.counters.heldPending++
 		m.mu.Unlock()
+		m.journal.append(Event{Kind: EventHold, Job: spec.Name,
+			Note: "arrival rule found no improving placement"})
 		return Admission{}, nil
 	}
+	kind := EventAdmitArrival
 	if initial {
 		m.counters.admittedInitial++
+		kind = EventAdmitInitial
 	} else {
 		m.counters.admittedArrival++
 	}
 	m.mu.Unlock()
+	m.journal.append(predictedFrom(Event{Kind: kind, Job: spec.Name, Group: group}, predicted))
 	if err := m.submit(spec, group, info); err != nil {
 		return Admission{}, err
 	}
@@ -174,9 +179,9 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 // it is placed by TryAddJob into the running group that raises the
 // scheduling score — without moving any running job — or rejected, in
 // which case it waits (§IV-B4).
-func (m *Master) admitLocked(info core.JobInfo) (group []string, initial, ok bool) {
+func (m *Master) admitLocked(info core.JobInfo) (group []string, predicted core.Group, initial, ok bool) {
 	if len(m.workers) == 0 {
-		return nil, false, false
+		return nil, core.Group{}, false, false
 	}
 	plan, members := m.livePlanLocked()
 	if len(plan.Groups) == 0 {
@@ -184,17 +189,17 @@ func (m *Master) admitLocked(info core.JobInfo) (group []string, initial, ok boo
 		for i, w := range m.workers {
 			names[i] = w.name
 		}
-		return names, true, true
+		return names, core.Group{Jobs: []core.JobInfo{info}, Machines: len(names)}, true, true
 	}
 	next, placed := core.TryAddJob(plan, info, m.opts)
 	if !placed {
-		return nil, false, false
+		return nil, core.Group{}, false, false
 	}
 	gi, found := next.FindJob(info.ID)
 	if !found || gi >= len(members) {
-		return nil, false, false
+		return nil, core.Group{}, false, false
 	}
-	return members[gi], false, true
+	return members[gi], next.Groups[gi], false, true
 }
 
 // livePlanLocked derives the scheduler's view of the running cluster:
@@ -264,10 +269,11 @@ func (m *Master) drainQueue() {
 		}
 		picked := -1
 		var group []string
+		var predicted core.Group
 		var initial bool
 		for i, p := range m.pending {
-			if g, init, ok := m.admitLocked(p.info); ok {
-				picked, group, initial = i, g, init
+			if g, pred, init, ok := m.admitLocked(p.info); ok {
+				picked, group, predicted, initial = i, g, pred, init
 				break
 			}
 		}
@@ -284,6 +290,8 @@ func (m *Master) drainQueue() {
 			m.counters.admittedArrival++
 		}
 		m.mu.Unlock()
+		m.journal.append(predictedFrom(
+			Event{Kind: EventQueueDrain, Job: p.spec.Name, Group: group}, predicted))
 		if err := m.submit(p.spec, group, p.info); err != nil {
 			// Deployment raced a worker failure or shutdown; requeue and
 			// let the next drain retry rather than spinning here.
@@ -307,6 +315,7 @@ func (m *Master) Cancel(name string) error {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
 			m.counters.canceled++
 			m.mu.Unlock()
+			m.journal.append(Event{Kind: EventCancel, Job: name, Note: "canceled while pending"})
 			return nil
 		}
 	}
@@ -323,6 +332,11 @@ func (m *Master) Cancel(name string) error {
 		m.mu.Unlock()
 		return nil
 	}
+	// Measured values are captured while the job still counts as running
+	// — livePlanLocked drops it the moment the status flips.
+	iter, ucpu, unet := m.measuredLocked(name, j)
+	m.journal.append(Event{Kind: EventCancel, Job: name,
+		MeasuredIterSeconds: iter, MeasuredCPUUtil: ucpu, MeasuredNetUtil: unet})
 	j.status = StatusCanceled
 	m.counters.canceled++
 	for _, bs := range j.barriers {

@@ -1,0 +1,154 @@
+package master
+
+import (
+	"sync"
+	"time"
+
+	"harmony/internal/core"
+)
+
+// Decision kinds recorded in the journal.
+const (
+	EventAdmitInitial = "admit_initial"
+	EventAdmitArrival = "admit_arrival"
+	EventHold         = "hold"
+	EventQueueDrain   = "queue_drain"
+	EventCancel       = "cancel"
+	EventMigrate      = "migrate"
+	EventRecover      = "recover"
+	EventComplete     = "complete"
+)
+
+// Event is one scheduler decision: what the master did with a job, the
+// model's predictions for the placement it chose (Eq. 1 and 3), and —
+// once the job has run — the measured values beside them, so prediction
+// error is auditable per decision rather than in aggregate.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Job  string    `json:"job"`
+	// Group is the worker set the decision placed the job on (empty for
+	// holds and cancels of pending jobs).
+	Group []string `json:"group,omitempty"`
+	// Predicted values from the §IV-B2 model at decision time: the group
+	// iteration seconds T_itr(g) of Eq. 1 and the utilization pair U(g)
+	// of Eq. 3 for the group the job joined. Zero when the decision had
+	// no placement to model (holds).
+	PredictedIterSeconds float64 `json:"predicted_iter_seconds,omitempty"`
+	PredictedCPUUtil     float64 `json:"predicted_cpu_util,omitempty"`
+	PredictedNetUtil     float64 `json:"predicted_net_util,omitempty"`
+	// Measured counterparts: iteration seconds are an EWMA of the wall
+	// time between the job's barrier releases; utilization divides the
+	// group's profiled subtask seconds by that measured iteration time.
+	// Filled at read time while the job runs, frozen into the complete
+	// event when it finishes, zero before the first measurement.
+	MeasuredIterSeconds float64 `json:"measured_iter_seconds,omitempty"`
+	MeasuredCPUUtil     float64 `json:"measured_cpu_util,omitempty"`
+	MeasuredNetUtil     float64 `json:"measured_net_util,omitempty"`
+	Note                string  `json:"note,omitempty"`
+}
+
+// DefaultJournalCapacity bounds journal retention; older events are
+// evicted once the ring is full, keeping the master's footprint constant
+// over arbitrarily long runs.
+const DefaultJournalCapacity = 512
+
+// journal is a bounded ring of decision events with monotone sequence
+// numbers. It has its own lock so appends work both under and outside
+// Master.mu.
+type journal struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64
+}
+
+func newJournal(capacity int) *journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &journal{buf: make([]Event, capacity)}
+}
+
+// append stamps the event with the next sequence number and the current
+// time, evicting the oldest entry when the ring is full.
+func (l *journal) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	e.Seq = l.next
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.buf[(l.next-1)%uint64(len(l.buf))] = e
+}
+
+// snapshot returns retained events in sequence order.
+func (l *journal) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := uint64(len(l.buf))
+	lo := uint64(1)
+	if l.next > n {
+		lo = l.next - n + 1
+	}
+	out := make([]Event, 0, l.next-lo+1)
+	for seq := lo; seq <= l.next; seq++ {
+		out = append(out, l.buf[(seq-1)%n])
+	}
+	return out
+}
+
+// predictedFrom fills the event's predicted fields from a model group.
+func predictedFrom(e Event, g core.Group) Event {
+	e.PredictedIterSeconds = g.IterSeconds()
+	e.PredictedCPUUtil, e.PredictedNetUtil = g.Util()
+	return e
+}
+
+// measuredLocked reports the job's measured iteration seconds and its
+// live group's measured utilization. The EWMA tracks wall time between
+// barrier releases; utilization divides the group's profiled subtask
+// seconds (the same quantities the model predicts from) by the measured
+// iteration time, so a prediction gap shows up directly.
+func (m *Master) measuredLocked(name string, j *job) (iter, ucpu, unet float64) {
+	if j == nil || j.measIter <= 0 {
+		return 0, 0, 0
+	}
+	iter = j.measIter
+	plan, _ := m.livePlanLocked()
+	if gi, ok := plan.FindJob(name); ok {
+		g := plan.Groups[gi]
+		ucpu = g.SumComp() / iter
+		unet = g.SumNet() / iter
+	}
+	return iter, ucpu, unet
+}
+
+// Events returns the decision journal, oldest first. Events for jobs
+// still running are enriched with their current measured values; frozen
+// measurements (stamped at completion) are kept as recorded.
+func (m *Master) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	evs := m.journal.snapshot()
+	type meas struct{ iter, ucpu, unet float64 }
+	cache := make(map[string]meas)
+	for i := range evs {
+		e := &evs[i]
+		if e.MeasuredIterSeconds != 0 {
+			continue
+		}
+		mv, ok := cache[e.Job]
+		if !ok {
+			if j, live := m.jobs[e.Job]; live {
+				mv.iter, mv.ucpu, mv.unet = m.measuredLocked(e.Job, j)
+			}
+			cache[e.Job] = mv
+		}
+		e.MeasuredIterSeconds = mv.iter
+		e.MeasuredCPUUtil = mv.ucpu
+		e.MeasuredNetUtil = mv.unet
+	}
+	return evs
+}

@@ -1,0 +1,66 @@
+package master
+
+import (
+	"fmt"
+	"testing"
+
+	"harmony/internal/core"
+)
+
+// TestJournalBoundedRetention pins the journal's ring contract: over
+// capacity the oldest decisions are evicted, sequence numbers stay
+// monotone, and retained events keep their payload.
+func TestJournalBoundedRetention(t *testing.T) {
+	l := newJournal(4)
+	for i := 0; i < 10; i++ {
+		l.append(Event{Kind: EventHold, Job: fmt.Sprintf("j%d", i)})
+	}
+	evs := l.snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d Seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.Job != fmt.Sprintf("j%d", 6+i) {
+			t.Errorf("event %d Job = %q", i, e.Job)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("event %d missing timestamp", i)
+		}
+		if i > 0 && e.Seq <= evs[i-1].Seq {
+			t.Errorf("sequence not monotone at %d", i)
+		}
+	}
+}
+
+func TestJournalPredictedFrom(t *testing.T) {
+	g := core.Group{
+		Jobs: []core.JobInfo{
+			{ID: "a", Comp: 4, Net: 1},
+			{ID: "b", Comp: 2, Net: 2},
+		},
+		Machines: 2,
+	}
+	e := predictedFrom(Event{Kind: EventAdmitArrival, Job: "b"}, g)
+	if e.PredictedIterSeconds != g.IterSeconds() {
+		t.Errorf("predicted T_itr = %v, want %v", e.PredictedIterSeconds, g.IterSeconds())
+	}
+	ucpu, unet := g.Util()
+	if e.PredictedCPUUtil != ucpu || e.PredictedNetUtil != unet {
+		t.Errorf("predicted util = (%v, %v), want (%v, %v)",
+			e.PredictedCPUUtil, e.PredictedNetUtil, ucpu, unet)
+	}
+	if e.PredictedIterSeconds <= 0 {
+		t.Error("prediction should be positive for a non-empty group")
+	}
+}
+
+func TestJournalEmptySnapshot(t *testing.T) {
+	l := newJournal(8)
+	if evs := l.snapshot(); len(evs) != 0 {
+		t.Errorf("empty journal snapshot = %+v", evs)
+	}
+}

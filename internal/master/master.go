@@ -104,6 +104,12 @@ type job struct {
 	pauseRequested bool
 	pausedCh       chan struct{} // closed when the pause takes effect
 	finishedCh     chan struct{} // closed when all workers complete
+
+	// measIter tracks measured iteration seconds as an EWMA of the wall
+	// time between consecutive barrier releases; the decision journal
+	// reports it beside the model's predicted T_itr.
+	measIter    float64
+	lastRelease time.Time
 }
 
 // Master coordinates the live runtime. Create with New; stop with Close.
@@ -120,6 +126,11 @@ type Master struct {
 	counters counters
 	draining bool
 	closed   bool
+
+	// journal records scheduler decisions (always on; bounded ring).
+	// trace, when non-nil, collects worker spans for /v1/trace.
+	journal *journal
+	trace   *traceState
 }
 
 // New starts a master listening on addr ("127.0.0.1:0" for tests).
@@ -129,6 +140,7 @@ func New(addr string, opts core.Options) (*Master, error) {
 		jobs:     make(map[string]*job),
 		profiles: profile.NewStore(profile.DefaultEWMAAlpha),
 		opts:     opts,
+		journal:  newJournal(DefaultJournalCapacity),
 	}
 	m.srv.Handle("master.register", rpc.Typed(m.handleRegister))
 	m.srv.Handle(worker.MethodBarrier, rpc.Typed(m.handleBarrier))
@@ -368,7 +380,19 @@ func (m *Master) handleBarrier(a worker.BarrierArgs) (worker.BarrierReply, error
 				errors.New("master: barrier timed out")
 		}
 	}
-	// Last arrival: release the whole group.
+	// Last arrival: release the whole group. The wall time between
+	// releases is the measured group iteration time the journal compares
+	// against the model's prediction.
+	now := time.Now()
+	if !j.lastRelease.IsZero() {
+		dt := now.Sub(j.lastRelease).Seconds()
+		if j.measIter <= 0 {
+			j.measIter = dt
+		} else {
+			j.measIter = 0.3*dt + 0.7*j.measIter
+		}
+	}
+	j.lastRelease = now
 	d := worker.Continue
 	if j.pauseRequested {
 		d = worker.Pause
@@ -399,6 +423,15 @@ func (m *Master) handleJobDone(a worker.JobDoneArgs) (worker.Ack, error) {
 	}
 	j.doneFrom[a.Worker] = true
 	if len(j.doneFrom) >= len(j.workers) && j.status != StatusFinished && j.status != StatusCanceled {
+		// Freeze the final measured values into the completion event
+		// before the job leaves the live plan.
+		iter, ucpu, unet := m.measuredLocked(a.Job, j)
+		m.journal.append(Event{
+			Kind: EventComplete, Job: a.Job,
+			MeasuredIterSeconds: iter,
+			MeasuredCPUUtil:     ucpu,
+			MeasuredNetUtil:     unet,
+		})
 		j.status = StatusFinished
 		close(j.finishedCh)
 		// A completion frees capacity: drain the admission queue (§IV-B4).
@@ -496,7 +529,18 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 	j.barriers = make(map[int]*barrierState)
 	j.epoch++ // the pre-migration placement must not reach the new barriers
 	m.counters.migrations++
+	// Journal the migration with the model's prediction for the group the
+	// job now joins; the measured EWMA restarts on the new placement.
+	ev := Event{Kind: EventMigrate, Job: name, Group: group}
+	if plan, _ := m.livePlanLocked(); len(plan.Groups) > 0 {
+		if gi, found := plan.FindJob(name); found {
+			ev = predictedFrom(ev, plan.Groups[gi])
+		}
+	}
+	j.measIter = 0
+	j.lastRelease = time.Time{}
 	m.mu.Unlock()
+	m.journal.append(ev)
 
 	// Tear the old placement down; shards and model partitions are
 	// rebuilt on the new group.
@@ -582,7 +626,8 @@ func (m *Master) WorkerStats() (cpu, net float64, err error) {
 	}
 	for _, r := range refs {
 		st, err := rpc.Invoke[worker.StatsArgs, worker.StatsReply](r.client,
-			worker.MethodStats, worker.StatsArgs{}, time.Minute)
+			worker.MethodStats, worker.StatsArgs{SpanAfter: worker.SpanCursorNone},
+			time.Minute)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -606,7 +651,8 @@ func (m *Master) CommStats() metrics.CommSnapshot {
 	}
 	for _, r := range refs {
 		st, err := rpc.Invoke[worker.StatsArgs, worker.StatsReply](r.client,
-			worker.MethodStats, worker.StatsArgs{}, time.Minute)
+			worker.MethodStats, worker.StatsArgs{SpanAfter: worker.SpanCursorNone},
+			time.Minute)
 		if err != nil {
 			continue
 		}
@@ -631,7 +677,8 @@ func (m *Master) CompStats() metrics.CompSnapshot {
 	}
 	for _, r := range refs {
 		st, err := rpc.Invoke[worker.StatsArgs, worker.StatsReply](r.client,
-			worker.MethodStats, worker.StatsArgs{}, time.Minute)
+			worker.MethodStats, worker.StatsArgs{SpanAfter: worker.SpanCursorNone},
+			time.Minute)
 		if err != nil {
 			continue
 		}

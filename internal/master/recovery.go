@@ -163,7 +163,17 @@ func (m *Master) RecoverJob(name string, group []string) error {
 	j.doneFrom = make(map[string]bool)
 	j.epoch++ // stragglers of the failed placement are now stale
 	m.counters.recoveries++
+	ev := Event{Kind: EventRecover, Job: name, Group: m.workerNamesLocked(j),
+		Note: fmt.Sprintf("restart from checkpoint iteration %d", j.checkpointIter)}
+	if plan, _ := m.livePlanLocked(); len(plan.Groups) > 0 {
+		if gi, found := plan.FindJob(name); found {
+			ev = predictedFrom(ev, plan.Groups[gi])
+		}
+	}
+	j.measIter = 0
+	j.lastRelease = time.Time{}
 	m.mu.Unlock()
+	m.journal.append(ev)
 
 	// Best-effort cleanup on survivors that hosted the old placement.
 	for _, r := range oldRefs {

@@ -9,8 +9,9 @@ import (
 
 // Prometheus sample types accepted by WritePrometheus.
 const (
-	PromCounter = "counter"
-	PromGauge   = "gauge"
+	PromCounter   = "counter"
+	PromGauge     = "gauge"
+	PromHistogram = "histogram"
 )
 
 // Sample is one Prometheus time-series value in the text exposition
@@ -21,13 +22,20 @@ const (
 type Sample struct {
 	Name  string
 	Help  string // family help text; the first non-empty one wins
-	Type  string // PromCounter or PromGauge (defaults to gauge)
+	Type  string // PromCounter, PromGauge or PromHistogram (defaults to gauge)
 	Value float64
+	// Fam overrides the derived family name. Histogram series need it:
+	// `x_bucket`, `x_sum` and `x_count` all belong to family `x`, whose
+	// single TYPE line announces `histogram`.
+	Fam string
 }
 
-// Family returns the metric-family name: the series name with any label
-// suffix stripped.
+// Family returns the metric-family name: Fam when set, otherwise the
+// series name with any label suffix stripped.
 func (s Sample) Family() string {
+	if s.Fam != "" {
+		return s.Fam
+	}
 	if i := strings.IndexByte(s.Name, '{'); i >= 0 {
 		return s.Name[:i]
 	}

@@ -9,7 +9,10 @@ package subtask
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"harmony/internal/obs"
 )
 
 // Kind classifies a subtask by its dominant resource.
@@ -39,6 +42,18 @@ func (k Kind) String() string {
 
 // IsComm reports whether the subtask uses the network.
 func (k Kind) IsComm() bool { return k == Pull || k == Push }
+
+// phase maps the kind to its telemetry phase.
+func (k Kind) phase() obs.Phase {
+	switch k {
+	case Comp:
+		return obs.PhaseComp
+	case Pull:
+		return obs.PhasePull
+	default:
+		return obs.PhasePush
+	}
+}
 
 // ErrClosed is returned when submitting to a closed executor.
 var ErrClosed = errors.New("subtask: executor closed")
@@ -71,11 +86,21 @@ type Executor struct {
 	wg      sync.WaitGroup
 	stats   Stats
 	started time.Time
+
+	// rec, when set, receives an execution span per subtask plus a
+	// slot-wait span for the time it sat queued behind other jobs'
+	// subtasks. Nil (the default) disables tracing with zero overhead
+	// beyond the atomic load.
+	rec atomic.Pointer[obs.Recorder]
 }
 
 type item struct {
 	kind Kind
 	job  string
+	iter int
+	// enq stamps submission time for the slot-wait span; zero when
+	// tracing is off.
+	enq  time.Time
 	work func()
 	done func()
 }
@@ -96,15 +121,29 @@ func NewExecutor() *Executor {
 	return e
 }
 
+// SetRecorder attaches a span recorder; every subsequent subtask emits
+// an execution span and a slot-wait span tagged with its job and
+// iteration. Pass nil to disable.
+func (e *Executor) SetRecorder(r *obs.Recorder) { e.rec.Store(r) }
+
 // Submit enqueues a subtask for the given job. work runs on the resource
 // lane; done (optional) runs right after on the same goroutine.
 func (e *Executor) Submit(kind Kind, job string, work func(), done func()) error {
+	return e.SubmitAt(kind, job, 0, work, done)
+}
+
+// SubmitAt is Submit carrying the job iteration the subtask belongs to,
+// so recorded spans line up with barrier rounds in the trace.
+func (e *Executor) SubmitAt(kind Kind, job string, iter int, work func(), done func()) error {
+	it := &item{kind: kind, job: job, iter: iter, work: work, done: done}
+	if e.rec.Load() != nil {
+		it.enq = time.Now()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
-	it := &item{kind: kind, job: job, work: work, done: done}
 	if kind == Comp {
 		e.cpuQ = append(e.cpuQ, it)
 	} else {
@@ -145,7 +184,18 @@ func (e *Executor) runner(cpu bool) {
 
 		start := time.Now()
 		it.work()
-		elapsed := time.Since(start)
+		end := time.Now()
+		elapsed := end.Sub(start)
+		if rec := e.rec.Load(); rec != nil {
+			if !it.enq.IsZero() {
+				wait := obs.PhaseWaitNet
+				if cpu {
+					wait = obs.PhaseWaitCPU
+				}
+				rec.Record(wait, it.job, it.iter, it.enq, start)
+			}
+			rec.Record(it.kind.phase(), it.job, it.iter, start, end)
+		}
 
 		e.mu.Lock()
 		e.stats.Executed[it.kind]++

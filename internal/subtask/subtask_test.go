@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"harmony/internal/obs"
 )
 
 func TestKindString(t *testing.T) {
@@ -195,4 +197,42 @@ func TestSubmitAfterClose(t *testing.T) {
 		t.Errorf("Submit after close = %v, want ErrClosed", err)
 	}
 	e.Close() // double close is a no-op
+}
+
+// TestExecutorRecordsSpans pins the tracing hook: with a recorder
+// attached, each subtask emits an execution span carrying its job and
+// iteration plus a slot-wait span for its time in the queue.
+func TestExecutorRecordsSpans(t *testing.T) {
+	e := NewExecutor()
+	defer e.Close()
+	r := obs.NewRecorder(64)
+	e.SetRecorder(r)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	if err := e.SubmitAt(Comp, "a", 7, func() { time.Sleep(2 * time.Millisecond) }, wg.Done); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitAt(Pull, "b", 3, func() {}, wg.Done); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	spans := r.SpansAfter(0, nil)
+	byPhase := map[obs.Phase][]obs.Span{}
+	for _, s := range spans {
+		byPhase[s.Phase] = append(byPhase[s.Phase], s)
+	}
+	comp := byPhase[obs.PhaseComp]
+	if len(comp) != 1 || comp[0].Job != "a" || comp[0].Iter != 7 {
+		t.Errorf("comp spans = %+v", comp)
+	}
+	if comp[0].End <= comp[0].Start {
+		t.Errorf("comp span not positive: %+v", comp[0])
+	}
+	pull := byPhase[obs.PhasePull]
+	if len(pull) != 1 || pull[0].Job != "b" || pull[0].Iter != 3 {
+		t.Errorf("pull spans = %+v", pull)
+	}
+	if len(byPhase[obs.PhaseWaitCPU]) != 1 || len(byPhase[obs.PhaseWaitNet]) != 1 {
+		t.Errorf("missing slot-wait spans: %+v", byPhase)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"harmony/internal/memstore"
 	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
+	"harmony/internal/obs"
 	"harmony/internal/parallel"
 	"harmony/internal/ps"
 	"harmony/internal/rpc"
@@ -83,9 +84,18 @@ type SetAlphaArgs struct {
 	Alpha float64
 }
 
-// StatsArgs requests executor statistics (gob needs a field).
+// SpanCursorNone asks a Stats call to skip span payloads entirely —
+// utilization aggregators poll Stats every scrape and must not drag the
+// whole span ring along each time.
+const SpanCursorNone = ^uint64(0)
+
+// StatsArgs requests executor statistics. SpanAfter is the caller's
+// trace cursor: the reply piggybacks recorded spans with sequence
+// numbers beyond it (none when tracing is disabled on this worker, or
+// when the cursor is SpanCursorNone).
 type StatsArgs struct {
-	Unused bool
+	Unused    bool
+	SpanAfter uint64
 }
 
 // StatsReply summarizes the worker's executor state.
@@ -105,6 +115,13 @@ type StatsReply struct {
 	// deduplicated by the same CommProcess id.
 	Comp        metrics.CompSnapshot
 	CommProcess string
+	// Spans are the subtask/barrier spans recorded since the caller's
+	// SpanAfter cursor, and PhaseHist the per-phase latency histograms —
+	// both empty unless this worker runs with tracing enabled. They ride
+	// the existing Stats path so trace collection needs no extra RPC
+	// surface and inherits its best-effort semantics.
+	Spans     []obs.Span
+	PhaseHist [obs.NumPhases]metrics.HistSnapshot
 }
 
 // BarrierArgs is the per-iteration synchronization call to the master
@@ -187,6 +204,9 @@ type Worker struct {
 	// The executor runs one COMP subtask at a time (§IV-A), so the
 	// kernel may saturate the pool without oversubscribing.
 	compWorkers atomic.Int32
+	// rec is the span recorder; nil (the default) means tracing is off
+	// and every instrumentation point reduces to a nil check.
+	rec atomic.Pointer[obs.Recorder]
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
@@ -374,7 +394,7 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 		// PULL subtask: decode straight into the reused model buffer.
 		stepDone := make(chan struct{})
 		start := time.Now()
-		if err := w.exec.Submit(subtask.Pull, job, func() {
+		if err := w.exec.SubmitAt(subtask.Pull, job, iter, func() {
 			pullErr = st.client.PullInto(job, model)
 		}, func() { close(stepDone) }); err != nil {
 			return
@@ -393,7 +413,7 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 		var compErr error
 		stepDone = make(chan struct{})
 		start = time.Now()
-		if err := w.exec.Submit(subtask.Comp, job, func() {
+		if err := w.exec.SubmitAt(subtask.Comp, job, iter, func() {
 			shard, err := st.materializeShard()
 			if err != nil {
 				compErr = err
@@ -418,7 +438,7 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 		var pushErr error
 		stepDone = make(chan struct{})
 		start = time.Now()
-		if err := w.exec.Submit(subtask.Push, job, func() {
+		if err := w.exec.SubmitAt(subtask.Push, job, iter, func() {
 			pushErr = st.client.Push(job, st.delta)
 		}, func() { close(stepDone) }); err != nil {
 			return
@@ -431,11 +451,21 @@ func (w *Worker) drive(job string, st *jobState, from, iterations, epoch int) {
 
 		st.lastIter = iter
 
-		// Iteration barrier with the master (Fig. 7's synchronizer).
+		// Iteration barrier with the master (Fig. 7's synchronizer). The
+		// wait is traced so stalls behind slower group members show up on
+		// the sync track next to the subtask spans.
+		rec := w.rec.Load()
+		var barrierStart time.Time
+		if rec != nil {
+			barrierStart = time.Now()
+		}
 		reply, err := rpc.Invoke[BarrierArgs, BarrierReply](w.master, MethodBarrier, BarrierArgs{
 			Job: job, Worker: w.name, Iteration: iter, Epoch: epoch,
 			CompSeconds: compSecs, NetSeconds: netSecs, Loss: loss,
 		}, time.Minute)
+		if rec != nil {
+			rec.Record(obs.PhaseBarrier, job, iter, barrierStart, time.Now())
+		}
 		if err != nil {
 			return
 		}
@@ -521,14 +551,34 @@ func (w *Worker) handleSetAlpha(a SetAlphaArgs) (Ack, error) {
 	return Ack{}, st.store.SetAlpha(a.Alpha)
 }
 
-func (w *Worker) handleStats(StatsArgs) (StatsReply, error) {
+func (w *Worker) handleStats(a StatsArgs) (StatsReply, error) {
 	cpu, net := w.exec.Utilization()
 	w.mu.Lock()
 	jobs := len(w.jobs)
 	w.mu.Unlock()
-	return StatsReply{CPUUtil: cpu, NetUtil: net, Jobs: jobs,
+	reply := StatsReply{CPUUtil: cpu, NetUtil: net, Jobs: jobs,
 		Comm: metrics.Comm.Snapshot(), Comp: metrics.Comp.Snapshot(),
-		CommProcess: metrics.ProcessID()}, nil
+		CommProcess: metrics.ProcessID()}
+	if rec := w.rec.Load(); rec != nil {
+		if a.SpanAfter != SpanCursorNone {
+			reply.Spans = rec.SpansAfter(a.SpanAfter, nil)
+		}
+		reply.PhaseHist = rec.HistSnapshots()
+	}
+	return reply, nil
+}
+
+// EnableTracing attaches a span recorder of the given ring capacity
+// (<= 0 selects obs.DefaultSpanCapacity) to this worker and its subtask
+// executor. Call before starting jobs; spans and phase histograms then
+// ride StatsReply back to the master.
+func (w *Worker) EnableTracing(capacity int) {
+	if capacity <= 0 {
+		capacity = obs.DefaultSpanCapacity
+	}
+	r := obs.NewRecorder(capacity)
+	w.rec.Store(r)
+	w.exec.SetRecorder(r)
 }
 
 // SetCompParallelism bounds the fused COMP kernel's core pool (0 restores

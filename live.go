@@ -36,6 +36,14 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 // Workers lists the registered worker names.
 func (m *Master) Workers() []string { return m.m.Workers() }
 
+// EnableTracing turns on cluster span collection: the master pulls
+// subtask/barrier spans from tracing workers over the Stats path and
+// serves them at the control plane's /v1/trace as Chrome trace-event
+// JSON, with phase latency histograms and per-group overlap gauges on
+// /metrics. Workers record spans only when started with tracing
+// themselves (Worker.EnableTracing / harmony-worker -trace).
+func (m *Master) EnableTracing() { m.m.EnableTracing(0) }
+
 // Training is a live job submission.
 type Training struct {
 	// Name uniquely identifies the job.
@@ -230,6 +238,13 @@ func (w *Worker) Name() string { return w.w.Name() }
 // GOMAXPROCS). Results are bit-identical at any setting; only wall time
 // changes.
 func (w *Worker) SetCompParallelism(n int) { w.w.SetCompParallelism(n) }
+
+// EnableTracing attaches a bounded span recorder to this worker: every
+// COMP/PULL/PUSH subtask, executor slot wait, and iteration barrier is
+// recorded and shipped to the master piggybacked on the Stats RPC. Off
+// by default; when off the instrumentation is a nil check with zero
+// allocations.
+func (w *Worker) EnableTracing() { w.w.EnableTracing(0) }
 
 // Close stops the worker's jobs and servers.
 func (w *Worker) Close() { w.w.Close() }
