@@ -5,10 +5,10 @@ GO ?= go
 VERSION ?= dev
 LDFLAGS := -ldflags "-X harmony/internal/obs.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke bench-smoke bench-report bench-comm bench-comp trace-demo
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance trace-demo
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -45,6 +45,12 @@ comm-smoke:
 comp-smoke:
 	$(GO) test -race -run 'TestCompPathRaceSmoke' ./internal/worker/
 
+## ps-rebalance-smoke: race-enabled pass over the elastic PS — live
+## stripe migration under concurrent pull/push (bit-exact vs a
+## no-migration control) and the skewed-load rebalance loop
+ps-rebalance-smoke:
+	$(GO) test -race -run 'TestMigrat|TestPSRebalanceSmoke' ./internal/ps/
+
 ## obs-smoke: race-enabled pass over the tracing subsystem (span ring,
 ## histograms, traced 2-job live cluster with a worker killed mid-run)
 obs-smoke:
@@ -74,6 +80,13 @@ bench-comm:
 bench-comp:
 	$(GO) test ./internal/worker/ -run XXX -bench 'BenchmarkComp' -benchmem
 	$(GO) run ./cmd/harmony-bench -bench-comp
+
+## bench-rebalance: elastic-PS report — skewed-access throughput and p99
+## stripe lock-wait with hot-stripe rebalancing off vs on
+## (BENCH_psrebalance.json)
+bench-rebalance:
+	$(GO) test ./internal/ps/ -run XXX -bench 'BenchmarkPSRebalance' -benchtime 2x
+	$(GO) run ./cmd/harmony-bench -bench-rebalance
 
 ## trace-demo: run a traced 2-worker, 2-job live cluster and write
 ## trace.json (open at https://ui.perfetto.dev)

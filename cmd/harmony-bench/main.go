@@ -7,6 +7,7 @@
 //	harmony-bench -bench                   # speedup report + BENCH_schedule.json
 //	harmony-bench -bench-comm              # data-plane report + BENCH_commpath.json
 //	harmony-bench -bench-comp              # compute-path report + BENCH_comppath.json
+//	harmony-bench -bench-rebalance         # PS hot-stripe rebalance A/B + BENCH_psrebalance.json
 //	harmony-bench -list
 package main
 
@@ -103,6 +104,8 @@ func run(args []string) error {
 	benchCommOut := fs.String("bench-comm-out", "BENCH_commpath.json", "output path for -bench-comm results")
 	benchComp := fs.Bool("bench-comp", false, "measure the fast COMP path against the gob-decode serial baseline, write BENCH_comppath.json, and exit")
 	benchCompOut := fs.String("bench-comp-out", "BENCH_comppath.json", "output path for -bench-comp results")
+	benchRebalance := fs.Bool("bench-rebalance", false, "measure skewed-access PS throughput with hot-stripe rebalancing off vs on, write BENCH_psrebalance.json, and exit")
+	benchRebalanceOut := fs.String("bench-rebalance-out", "BENCH_psrebalance.json", "output path for -bench-rebalance results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +118,9 @@ func run(args []string) error {
 	}
 	if *benchComp {
 		return runBenchComp(*benchCompOut)
+	}
+	if *benchRebalance {
+		return runBenchRebalance(*benchRebalanceOut)
 	}
 	exps := experiments()
 	if *list {

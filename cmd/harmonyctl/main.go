@@ -13,6 +13,7 @@
 //	cluster  show workers, groups and the admission queue
 //	events   show the scheduler decision journal (predicted vs measured T_itr/U)
 //	trace    fetch the Chrome trace-event JSON (-o trace.json; load in Perfetto)
+//	ps-stats show per-stripe parameter-server load (what the rebalancer sees)
 package main
 
 import (
@@ -23,10 +24,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"harmony/internal/ctl"
+	"harmony/internal/ps"
 )
 
 func main() {
@@ -37,7 +40,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|events|trace} [flags]")
+	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|events|trace|ps-stats} [flags]")
 }
 
 func run(args []string) error {
@@ -74,6 +77,8 @@ func run(args []string) error {
 		return cmdEvents(c)
 	case "trace":
 		return cmdTrace(c, rest)
+	case "ps-stats":
+		return cmdPSStats(c, rest)
 	default:
 		return usage()
 	}
@@ -297,6 +302,53 @@ func cmdTrace(c *client, args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d bytes to %s (load in https://ui.perfetto.dev)\n", len(body), *out)
+	return nil
+}
+
+// cmdPSStats renders per-stripe parameter-server load: the counters the
+// hot-stripe rebalancer plans from, hottest stripes first.
+func cmdPSStats(c *client, args []string) error {
+	fs := flag.NewFlagSet("harmonyctl ps-stats", flag.ContinueOnError)
+	top := fs.Int("top", 20, "show the N hottest stripes (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cs ps.ClusterStats
+	if err := c.do(http.MethodGet, "/v1/ps", nil, &cs); err != nil {
+		return err
+	}
+	type row struct {
+		server string
+		job    string
+		st     ps.StripeStat
+	}
+	var rows []row
+	for _, srv := range cs.Servers {
+		for _, js := range srv.Jobs {
+			for _, st := range js.Stripes {
+				rows = append(rows, row{server: srv.Name, job: js.Job, st: st})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Println("no stripes")
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Ops() > rows[j].st.Ops() })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+	fmt.Printf("%-12s %-16s %7s %5s %8s %8s %10s %10s %12s %5s\n",
+		"SERVER", "JOB", "STRIPE", "ROLE", "PULLS", "PUSHES", "PULL_B", "PUSH_B", "LOCK_WAIT", "REPL")
+	for _, r := range rows {
+		role := "repl"
+		if r.st.Primary {
+			role = "prim"
+		}
+		fmt.Printf("%-12s %-16s %7d %5s %8d %8d %10d %10d %11.3fs %5d\n",
+			r.server, r.job, r.st.Index, role, r.st.PullOps, r.st.PushOps,
+			r.st.PullBytes, r.st.PushBytes, r.st.LockWaitSeconds, r.st.Replicas)
+	}
 	return nil
 }
 

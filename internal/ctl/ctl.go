@@ -13,6 +13,7 @@
 //	GET    /v1/cluster       workers, groups, queue
 //	GET    /v1/events        scheduler decision journal
 //	GET    /v1/trace         Chrome trace-event JSON of collected spans
+//	GET    /v1/ps            per-stripe parameter-server statistics
 //	GET    /healthz          liveness + uptime
 //	GET    /metrics          Prometheus text format
 package ctl
@@ -32,6 +33,7 @@ import (
 	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
 	"harmony/internal/obs"
+	"harmony/internal/ps"
 )
 
 // Backend is what the control plane needs from the live master;
@@ -48,6 +50,7 @@ type Backend interface {
 	CommStats() metrics.CommSnapshot
 	CompStats() metrics.CompSnapshot
 	Events() []master.Event
+	PSStats() (ps.ClusterStats, error)
 	TracingEnabled() bool
 	CollectSpans() []obs.TaggedSpan
 	PhaseStats() (hist [obs.NumPhases]metrics.HistSnapshot, ok bool)
@@ -66,6 +69,7 @@ var routes = []string{
 	"GET /v1/cluster",
 	"GET /v1/events",
 	"GET /v1/trace",
+	"GET /v1/ps",
 	"GET /healthz",
 	"GET /metrics",
 }
@@ -97,6 +101,7 @@ func New(b Backend) *Server {
 	s.handle("GET /v1/cluster", s.handleCluster)
 	s.handle("GET /v1/events", s.handleEvents)
 	s.handle("GET /v1/trace", s.handleTrace)
+	s.handle("GET /v1/ps", s.handlePSStats)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	return s

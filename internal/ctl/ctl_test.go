@@ -11,6 +11,7 @@ import (
 	"harmony/internal/master"
 	"harmony/internal/metrics"
 	"harmony/internal/obs"
+	"harmony/internal/ps"
 )
 
 // fakeBackend scripts the master's control-plane surface for handler
@@ -26,6 +27,8 @@ type fakeBackend struct {
 	comp       metrics.CompSnapshot
 	statsErr   error
 	events     []master.Event
+	psStats    ps.ClusterStats
+	psErr      error
 	traced     bool
 	spans      []obs.TaggedSpan
 	phaseHist  [obs.NumPhases]metrics.HistSnapshot
@@ -84,6 +87,8 @@ func (f *fakeBackend) CompStats() metrics.CompSnapshot {
 }
 
 func (f *fakeBackend) Events() []master.Event { return f.events }
+
+func (f *fakeBackend) PSStats() (ps.ClusterStats, error) { return f.psStats, f.psErr }
 
 func (f *fakeBackend) TracingEnabled() bool { return f.traced }
 
@@ -402,6 +407,64 @@ func TestMetricsSkipsUtilizationOnStatsError(t *testing.T) {
 	}
 	if strings.Contains(w.Body.String(), "harmony_utilization") {
 		t.Error("utilization emitted despite stats error")
+	}
+}
+
+func TestPSStatsEndpoint(t *testing.T) {
+	fb := &fakeBackend{psStats: ps.ClusterStats{Servers: []ps.ServerStats{{
+		Name: "w0", Addr: "127.0.0.1:1",
+		StatsReply: ps.StatsReply{Jobs: []ps.JobStats{{
+			Job: "j", Stripes: []ps.StripeStat{
+				{Index: 0, Len: 4, Primary: true, PullOps: 7, PushOps: 3, LockWaitSeconds: 0.5},
+			},
+		}}},
+	}}}}
+	w := doReq(t, New(fb), http.MethodGet, "/v1/ps", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("ps status = %d: %s", w.Code, w.Body.String())
+	}
+	var got ps.ClusterStats
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Servers) != 1 || got.Servers[0].Name != "w0" ||
+		got.Servers[0].Jobs[0].Stripes[0].PullOps != 7 {
+		t.Fatalf("ps body = %+v", got)
+	}
+
+	fb.psErr = errors.New("no workers")
+	if w := doReq(t, New(fb), http.MethodGet, "/v1/ps", ""); w.Code == http.StatusOK {
+		t.Fatalf("ps error path status = %d", w.Code)
+	}
+}
+
+func TestMetricsStripeSamples(t *testing.T) {
+	fb := &fakeBackend{psStats: ps.ClusterStats{Servers: []ps.ServerStats{{
+		Name: "w0", Addr: "127.0.0.1:1",
+		StatsReply: ps.StatsReply{Jobs: []ps.JobStats{{
+			Job: "j", Stripes: []ps.StripeStat{
+				{Index: 2, Len: 4, Primary: true, PullOps: 100, PushOps: 50, LockWaitSeconds: 1.5},
+			},
+		}}},
+	}}}}
+	w := doReq(t, New(fb), http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`harmony_ps_stripe_ops_total{op="pull",server="w0",job="j",stripe="2"} 100`,
+		`harmony_ps_stripe_ops_total{op="push",server="w0",job="j",stripe="2"} 50`,
+		`harmony_ps_stripe_lock_wait_seconds_total{server="w0",job="j",stripe="2"} 1.5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+	// A failing scrape must not take /metrics down with it.
+	fb.psErr = errors.New("no workers")
+	if w := doReq(t, New(fb), http.MethodGet, "/metrics", ""); w.Code != http.StatusOK {
+		t.Fatalf("metrics with ps error = %d", w.Code)
 	}
 }
 

@@ -9,7 +9,13 @@ import (
 	"harmony/internal/master"
 	"harmony/internal/metrics"
 	"harmony/internal/obs"
+	"harmony/internal/ps"
 )
+
+// psStripeTopK bounds per-stripe series cardinality on /metrics: the K
+// hottest stripes cluster-wide get individual series, the rest fold
+// into a per-server stripe="other" aggregate.
+const psStripeTopK = 16
 
 // processStart anchors the /healthz uptime report.
 var processStart = time.Now()
@@ -53,6 +59,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	spans := s.b.CollectSpans()
 	w.Header().Set("Content-Type", "application/json")
 	_ = obs.WriteChromeTrace(w, spans)
+}
+
+// handlePSStats serves the merged per-stripe parameter-server view —
+// what the hot-stripe rebalancer sees (`harmonyctl ps-stats` renders
+// it as a table).
+func (s *Server) handlePSStats(w http.ResponseWriter, r *http.Request) {
+	cs, err := s.b.PSStats()
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cs)
 }
 
 // handleMetrics renders the control-plane inventory in the Prometheus
@@ -129,6 +147,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// across the cluster: this process plus every worker process.
 	samples = append(samples, metrics.CommSamples(s.b.CommStats())...)
 	samples = append(samples, metrics.CompSamples(s.b.CompStats())...)
+	// Per-stripe PS load, bounded to the hottest stripes plus per-server
+	// aggregates; best effort like the other worker scrapes.
+	if cs, err := s.b.PSStats(); err == nil {
+		samples = append(samples, ps.StripeSamples(cs, psStripeTopK)...)
+	}
 	samples = append(samples,
 		metrics.Sample{Name: `harmony_build_info{version="` + obs.Version + `"}`,
 			Help: "Build metadata; the value is always 1.",

@@ -17,6 +17,8 @@ const (
 	EventMigrate      = "migrate"
 	EventRecover      = "recover"
 	EventComplete     = "complete"
+	EventPSRebalance  = "ps_rebalance"
+	EventPSResize     = "ps_resize"
 )
 
 // Event is one scheduler decision: what the master did with a job, the

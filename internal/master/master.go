@@ -110,6 +110,12 @@ type job struct {
 	// reports it beside the model's predicted T_itr.
 	measIter    float64
 	lastRelease time.Time
+
+	// psServers overrides the job's parameter-server set when elastic
+	// resizing has diverged it from the worker group (DESIGN.md §12);
+	// nil means the default co-located placement. Reset on migration and
+	// recovery, which rebuild model partitions on the new group.
+	psServers []string
 }
 
 // Master coordinates the live runtime. Create with New; stop with Close.
@@ -131,6 +137,13 @@ type Master struct {
 	// trace, when non-nil, collects worker spans for /v1/trace.
 	journal *journal
 	trace   *traceState
+
+	// Hot-stripe rebalancer state (psstats.go): the balancer has its own
+	// lock so scrape rounds never hold Master.mu across RPCs.
+	psMu     sync.Mutex
+	balancer *ps.Balancer
+	psStop   chan struct{}
+	psWG     sync.WaitGroup
 }
 
 // New starts a master listening on addr ("127.0.0.1:0" for tests).
@@ -527,7 +540,8 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 	j.status = StatusRunning
 	j.pausedCh = make(chan struct{})
 	j.barriers = make(map[int]*barrierState)
-	j.epoch++ // the pre-migration placement must not reach the new barriers
+	j.psServers = nil // deploy rebuilds model partitions on the new group
+	j.epoch++         // the pre-migration placement must not reach the new barriers
 	m.counters.migrations++
 	// Journal the migration with the model's prediction for the group the
 	// job now joins; the measured EWMA restarts on the new placement.
@@ -558,8 +572,12 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 	return nil
 }
 
-// serverAddrsLocked lists the PS addresses of a job's current group.
+// serverAddrsLocked lists the PS addresses of a job's current group,
+// preferring an elastically resized server set when one is live.
 func (m *Master) serverAddrsLocked(j *job) []string {
+	if j.psServers != nil {
+		return append([]string(nil), j.psServers...)
+	}
 	addrs := make([]string, len(j.workers))
 	for i, wi := range j.workers {
 		addrs[i] = m.workers[wi].addr
@@ -699,6 +717,8 @@ func (m *Master) Close() {
 		return
 	}
 	m.closed = true
+	psStop := m.psStop
+	m.psStop = nil
 	for _, j := range m.jobs {
 		for _, bs := range j.barriers {
 			for _, ch := range bs.waiters {
@@ -712,6 +732,10 @@ func (m *Master) Close() {
 		clients = append(clients, w.client)
 	}
 	m.mu.Unlock()
+	if psStop != nil {
+		close(psStop)
+	}
+	m.psWG.Wait()
 	for _, c := range clients {
 		c.Close()
 	}

@@ -1,0 +1,124 @@
+package master
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"harmony/internal/mlapp"
+	"harmony/internal/ps"
+)
+
+// stripesByServer flattens a cluster scrape into server-name -> stripe
+// count for one job.
+func stripesByServer(cs ps.ClusterStats, job string) map[string]int {
+	out := make(map[string]int)
+	for _, srv := range cs.Servers {
+		for _, js := range srv.Jobs {
+			if js.Job == job {
+				out[srv.Name] += len(js.Stripes)
+			}
+		}
+	}
+	return out
+}
+
+// TestElasticPSResizeLive shrinks a running job's parameter-server set
+// to a single worker mid-training: the drained servers' stripes must
+// live-migrate to the survivor, the workers must follow, and training
+// must still finish.
+func TestElasticPSResizeLive(t *testing.T) {
+	m := cluster(t, 3)
+	if err := m.Submit(spec("nmf", mlapp.NMF, 5000), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		_, iter, _, _ := m.Status("nmf")
+		if iter >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cs, err := m.PSStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stripesByServer(cs, "nmf")
+	total := 0
+	for _, n := range before {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("no nmf stripes in scrape: %+v", cs)
+	}
+
+	if err := m.ResizeJobServers("nmf", []string{"w0"}); err != nil {
+		t.Fatal(err)
+	}
+	cs, err = m.PSStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := stripesByServer(cs, "nmf")
+	for srv, n := range after {
+		if srv != "w0" && n > 0 {
+			t.Errorf("server %s still holds %d nmf stripes after resize (before %+v, after %+v)",
+				srv, n, before, after)
+		}
+	}
+	if after["w0"] != total {
+		t.Errorf("w0 holds %d stripes after resize, want all %d", after["w0"], total)
+	}
+	var resized *Event
+	for _, ev := range m.Events() {
+		if ev.Kind == EventPSResize && ev.Job == "nmf" {
+			e := ev
+			resized = &e
+		}
+	}
+	if resized == nil {
+		t.Fatal("no ps_resize event journaled")
+	}
+	if !strings.Contains(resized.Note, "-> 1") {
+		t.Errorf("resize note = %q, want server count -> 1", resized.Note)
+	}
+
+	// Cut the run short; training must complete against the shrunk set.
+	_, iter, _, _ := m.Status("nmf")
+	m.mu.Lock()
+	m.jobs["nmf"].spec.Iterations = iter + 3
+	m.mu.Unlock()
+	if err := m.WaitJob("nmf", 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _, _ := m.Status("nmf"); status != StatusFinished {
+		t.Errorf("status after resize = %v, want finished", status)
+	}
+}
+
+// TestRebalancePSBalanced runs manual rebalance rounds against an
+// evenly-loaded live cluster: nothing should move, and the background
+// loop must start and stop cleanly under Close.
+func TestRebalancePSBalanced(t *testing.T) {
+	m := cluster(t, 2)
+	if err := m.Submit(spec("mlr", mlapp.MLR, 6), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		moves, done, err := m.RebalancePS(ps.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 0 || done != 0 {
+			t.Errorf("round %d planned %v on a balanced cluster", i, moves)
+		}
+	}
+	m.StartPSRebalancer(10*time.Millisecond, ps.PlanOptions{})
+	m.StartPSRebalancer(10*time.Millisecond, ps.PlanOptions{}) // idempotent
+	if err := m.WaitJob("mlr", 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the loop take a few ticks
+}

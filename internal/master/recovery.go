@@ -161,7 +161,8 @@ func (m *Master) RecoverJob(name string, group []string) error {
 	j.status = StatusRunning
 	j.barriers = make(map[int]*barrierState)
 	j.doneFrom = make(map[string]bool)
-	j.epoch++ // stragglers of the failed placement are now stale
+	j.psServers = nil // deploy rebuilds model partitions on the new group
+	j.epoch++         // stragglers of the failed placement are now stale
 	m.counters.recoveries++
 	ev := Event{Kind: EventRecover, Job: name, Group: m.workerNamesLocked(j),
 		Note: fmt.Sprintf("restart from checkpoint iteration %d", j.checkpointIter)}
@@ -173,7 +174,6 @@ func (m *Master) RecoverJob(name string, group []string) error {
 	j.measIter = 0
 	j.lastRelease = time.Time{}
 	m.mu.Unlock()
-	m.journal.append(ev)
 
 	// Best-effort cleanup on survivors that hosted the old placement.
 	for _, r := range oldRefs {
@@ -182,5 +182,13 @@ func (m *Master) RecoverJob(name string, group []string) error {
 		_, _ = rpc.Invoke[ps.DropArgs, ps.Ack](r.client,
 			ps.MethodDrop, ps.DropArgs{Job: name}, time.Minute)
 	}
-	return m.deploy(j, restore, fromIter)
+	// Journal after the deploy attempt so a failed restart is auditable
+	// in place: the PS client stamps the failing server's address into
+	// its fan-out errors, and that identity surfaces here.
+	err = m.deploy(j, restore, fromIter)
+	if err != nil {
+		ev.Note += "; deploy failed: " + err.Error()
+	}
+	m.journal.append(ev)
+	return err
 }

@@ -1,0 +1,364 @@
+package ps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/rpc"
+)
+
+// startServers brings up n parameter servers on loopback TCP and hands
+// back the Server objects too (migration tests drive SetServiceLimit,
+// FlushReplication and Stats directly).
+func startServers(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := rpc.NewServer()
+		ps := NewServer()
+		ps.Register(srv)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		t.Cleanup(ps.Close)
+		servers[i] = ps
+		addrs[i] = addr
+	}
+	return servers, addrs
+}
+
+func dialRaw(t *testing.T, addr string) *rpc.Client {
+	t.Helper()
+	cl, err := rpc.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// primaryStripes asks one server which stripes of job it owns.
+func primaryStripes(t *testing.T, cl *rpc.Client, job string) []int {
+	t.Helper()
+	reply, err := rpc.Invoke[RoutesArgs, RoutesReply](cl, MethodRoutes, RoutesArgs{Job: job}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int
+	for _, sr := range reply.Stripes {
+		if sr.Primary {
+			out = append(out, sr.Index)
+		}
+	}
+	return out
+}
+
+// TestMigrateStripe moves one stripe between two servers and checks the
+// client self-heals: the old route's pull hits a moved status, refreshes
+// and lands on the new owner with the exact same values.
+func TestMigrateStripe(t *testing.T) {
+	_, addrs := startServers(t, 2)
+	c := newClient(t, addrs)
+	c.SetStripeElems(4)
+	model := seqModel(16) // 4 stripes of 4
+	if err := c.Init("job", model); err != nil {
+		t.Fatal(err)
+	}
+	src := dialRaw(t, addrs[0])
+	owned := primaryStripes(t, src, "job")
+	if len(owned) == 0 {
+		t.Fatal("server 0 owns no stripes")
+	}
+	for _, s := range owned {
+		if _, err := rpc.Invoke[MigrateArgs, Ack](src, MethodMigrate,
+			MigrateArgs{Job: "job", Stripe: s, Dest: addrs[1]}, 2*time.Second); err != nil {
+			t.Fatalf("migrate stripe %d: %v", s, err)
+		}
+	}
+	if left := primaryStripes(t, src, "job"); len(left) != 0 {
+		t.Fatalf("server 0 still owns %v after drain", left)
+	}
+	got := make([]float64, 16)
+	if err := c.PullInto("job", got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("elem %d = %v after migration, want %v", i, got[i], model[i])
+		}
+	}
+	// Re-migrating a moved stripe must fail loudly, not double-move.
+	if _, err := rpc.Invoke[MigrateArgs, Ack](src, MethodMigrate,
+		MigrateArgs{Job: "job", Stripe: owned[0], Dest: addrs[1]}, 2*time.Second); err == nil {
+		t.Fatal("migrating an already-moved stripe succeeded")
+	}
+}
+
+// runHammer pushes all-ones deltas from several workers while
+// (optionally) a migrator shuttles stripes between two servers, then
+// returns the snapshot. Integer deltas sum exactly in float64 whatever
+// the application order, so the migrated run must be bit-identical to
+// the control run.
+func runHammer(t *testing.T, migrate bool) []float64 {
+	t.Helper()
+	const (
+		stripes     = 6
+		stripeElems = 32
+		modelSize   = stripes * stripeElems
+		workers     = 4
+		iters       = 40
+	)
+	_, addrs := startServers(t, 2)
+	boot := newClient(t, addrs)
+	boot.SetStripeElems(stripeElems)
+	if err := boot.Init("job", make([]float64, modelSize)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var migrWG sync.WaitGroup
+	var moves int
+	if migrate {
+		conns := []*rpc.Client{dialRaw(t, addrs[0]), dialRaw(t, addrs[1])}
+		migrWG.Add(1)
+		go func() {
+			defer migrWG.Done()
+			// No t.Fatal in here: this goroutine outlives test assertions.
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := i % 2
+				routes, err := rpc.Invoke[RoutesArgs, RoutesReply](conns[from], MethodRoutes,
+					RoutesArgs{Job: "job"}, 2*time.Second)
+				if err != nil {
+					continue
+				}
+				var owned []int
+				for _, sr := range routes.Stripes {
+					if sr.Primary {
+						owned = append(owned, sr.Index)
+					}
+				}
+				if len(owned) > 0 {
+					s := owned[rng.Intn(len(owned))]
+					if _, err := rpc.Invoke[MigrateArgs, Ack](conns[from], MethodMigrate,
+						MigrateArgs{Job: "job", Stripe: s, Dest: addrs[1-from]}, 2*time.Second); err == nil {
+						moves++
+					}
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+	}
+	ones := make([]float64, modelSize)
+	for i := range ones {
+		ones[i] = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := NewClient(addrs, 5*time.Second)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer cl.Close()
+			buf := make([]float64, modelSize)
+			for i := 0; i < iters; i++ {
+				if err := cl.PullInto("job", buf); err != nil {
+					errs[w] = fmt.Errorf("iter %d pull: %w", i, err)
+					return
+				}
+				if err := cl.Push("job", ones); err != nil {
+					errs[w] = fmt.Errorf("iter %d push: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	migrWG.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if migrate {
+		t.Logf("completed %d migrations during load", moves)
+		if moves == 0 {
+			t.Fatal("no migrations completed during load; test exercised nothing")
+		}
+	}
+	snap, err := boot.Snapshot("job", modelSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range snap {
+		if v != float64(workers*iters) {
+			t.Fatalf("elem %d = %v, want %d (push lost or double-applied)", i, v, workers*iters)
+		}
+	}
+	return snap
+}
+
+// TestMigrationUnderLoadBitExact is the headline correctness test: many
+// workers hammer pull/push while stripes migrate back and forth between
+// two servers, and the final model must be bit-identical to a run with
+// no migration at all. Run with -race to exercise the fence.
+func TestMigrationUnderLoadBitExact(t *testing.T) {
+	control := runHammer(t, false)
+	migrated := runHammer(t, true)
+	for i := range control {
+		if control[i] != migrated[i] {
+			t.Fatalf("elem %d: control %v vs migrated %v", i, control[i], migrated[i])
+		}
+	}
+}
+
+// TestReplicaReadAggregation checks the server-side aggregation path:
+// writes aggregate at the owner, replicas converge after propagation,
+// and replica-enabled pulls see the aggregated state.
+func TestReplicaReadAggregation(t *testing.T) {
+	servers, addrs := startServers(t, 2)
+	c := newClient(t, addrs)
+	c.SetStripeElems(8)
+	if err := c.Init("job", make([]float64, 16)); err != nil { // 2 stripes
+		t.Fatal(err)
+	}
+	src := dialRaw(t, addrs[0])
+	owned := primaryStripes(t, src, "job")
+	if len(owned) == 0 {
+		t.Fatal("server 0 owns no stripes")
+	}
+	rep := owned[0]
+	if _, err := rpc.Invoke[ReplicateArgs, Ack](src, MethodReplicate,
+		ReplicateArgs{Job: "job", Stripe: rep, Dest: addrs[1]}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	delta := make([]float64, 16)
+	for i := range delta {
+		delta[i] = float64(i)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Push("job", delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := servers[0].FlushReplication(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadReplicas(true)
+	got := make([]float64, 16)
+	// Round-robin across owner and replica: every read must agree.
+	for round := 0; round < 4; round++ {
+		if err := c.PullInto("job", got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != 3*delta[i] {
+				t.Fatalf("round %d elem %d = %v, want %v", round, i, got[i], 3*delta[i])
+			}
+		}
+	}
+	// A push routed at the replica must bounce (status moved) and land on
+	// the owner after the client refreshes — total stays exact.
+	if err := c.Push("job", delta); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot("job", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap {
+		if snap[i] != 4*delta[i] {
+			t.Fatalf("after 4 pushes elem %d = %v, want %v", i, snap[i], 4*delta[i])
+		}
+	}
+}
+
+// validInstallBody builds a well-formed single-stripe install message.
+func validInstallBody() []byte {
+	body := rpc.AppendString(nil, "job")
+	body = rpc.AppendUint32(body, 1)
+	return appendStripeFrame(body, 0, 0, 0, 1, []string{"127.0.0.1:9"}, []float64{1, 2, 3})
+}
+
+// TestInstallFrameTruncated mirrors the PR-3 codec suite for the handoff
+// frame: every strict prefix of a valid install body must be rejected
+// with an error, never a panic or a silent partial install.
+func TestInstallFrameTruncated(t *testing.T) {
+	s := NewServer()
+	body := validInstallBody()
+	if _, err := s.handleInstall(body, false); err != nil {
+		t.Fatalf("valid body rejected: %v", err)
+	}
+	for n := 0; n < len(body); n++ {
+		if _, err := s.handleInstall(body[:n], false); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", n, len(body))
+		}
+	}
+}
+
+// TestInstallFrameCorruptCount checks that an inflated stripe count (a
+// corrupt header promising more frames than the body holds) errors out.
+func TestInstallFrameCorruptCount(t *testing.T) {
+	s := NewServer()
+	body := rpc.AppendString(nil, "job")
+	body = rpc.AppendUint32(body, 1<<20) // claims a million stripes
+	body = appendStripeFrame(body, 0, 0, 0, 1, nil, []float64{1})
+	if _, err := s.handleInstall(body, false); err == nil {
+		t.Fatal("corrupt stripe count accepted")
+	}
+}
+
+// FuzzInstallFrame feeds arbitrary bytes to the install decoder: it must
+// return an error or succeed, never panic or read out of bounds.
+func FuzzInstallFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(validInstallBody())
+	body := validInstallBody()
+	f.Add(body[:len(body)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewServer()
+		_, _ = s.handleInstall(data, false)
+		_, _ = s.handleInstall(data, true)
+	})
+}
+
+// TestStripeFrameRoundTrip checks the handoff codec round-trips exact
+// values, flags, versions and replica lists.
+func TestStripeFrameRoundTrip(t *testing.T) {
+	vals := []float64{0, -1.5, 3.25e100, 1e-300}
+	frame := appendStripeFrame(nil, 7, 224, flagReplica, 99, []string{"a:1", "b:2"}, vals)
+	got, rest, err := readStripeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if got.idx != 7 || got.lo != 224 || got.flags != flagReplica || got.version != 99 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.replicas) != 2 || got.replicas[0] != "a:1" || got.replicas[1] != "b:2" {
+		t.Fatalf("replicas mismatch: %v", got.replicas)
+	}
+	for i := range vals {
+		if got.vals[i] != vals[i] {
+			t.Fatalf("val %d = %v, want %v", i, got.vals[i], vals[i])
+		}
+	}
+}

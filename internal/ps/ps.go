@@ -6,23 +6,41 @@
 // The pull/push path is the live runtime's hot loop (§IV-A: COMM
 // subtasks keep the network busy while co-located COMP runs), so the
 // data plane rides the binary float-frame codec of internal/rpc instead
-// of gob, partitions are sharded into independently locked stripes so
-// co-located jobs' pushes never contend on a server-wide mutex, and the
-// client can pull into caller-owned buffers for allocation-free
-// steady-state iterations. Wire layouts (all little-endian):
+// of gob. Since PR 6 the unit of placement is the stripe, not the
+// partition: a job's model is carved into fixed-size stripes, each
+// independently locked, counted (pull/push ops, bytes, lock-wait) and
+// movable between servers while the job runs — the elastic layer of
+// DESIGN.md §12. Clients route per stripe and self-heal: an op that hits
+// a migrated-away stripe gets a "moved" status, refreshes its route
+// table and retries against the new owner.
 //
-//	init/restore  request:  str job | u32 lo | floats values   reply: empty
-//	pull/snapshot request:  str job                            reply: u32 lo | floats values
-//	push          request:  str job | u32 lo | floats delta    reply: empty
+// Wire layouts (all little-endian; "str" is a u16-length-prefixed
+// string, "floats" a u32 count followed by raw IEEE-754 bit patterns):
 //
-// where "str" is a u16-length-prefixed string and "floats" a u32 count
-// followed by raw IEEE-754 bit patterns (rpc.AppendFloats). Drop stays a
-// gob control-plane method.
+//	init/restore/install request:
+//	  str job | u32 count | count × stripe-frame        reply: empty
+//	  stripe-frame: u32 idx | u32 lo | u8 flags | u64 version |
+//	                u16 nrep | nrep × str addr | floats vals
+//	pull/snapshot request:
+//	  str job | u32 count | count × u32 idx
+//	pull/snapshot reply:
+//	  u32 count | count × (u32 idx | u8 status | [ok: u32 lo | floats vals])
+//	push request:
+//	  str job | u32 count | count × (u32 idx | u32 lo | floats delta)
+//	push reply:
+//	  u32 nfail | nfail × u32 idx
+//
+// init/restore replace a job's whole partition on the receiving server;
+// install (the migration/replication handoff) merges stripes into it.
+// Control-plane methods (drop, routes, stats, migrate, replicate) stay
+// gob.
 package ps
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/metrics"
@@ -37,7 +55,31 @@ const (
 	MethodSnapshot = "ps.snapshot"
 	MethodRestore  = "ps.restore"
 	MethodDrop     = "ps.drop"
+	// MethodInstall merges handoff stripe-frames into a job's partition:
+	// the receiving end of migration and replica propagation.
+	MethodInstall = "ps.install"
+	// MethodRoutes reports which stripes of a job this server holds.
+	MethodRoutes = "ps.routes"
+	// MethodStats reports per-stripe load counters for every job.
+	MethodStats = "ps.stats"
+	// MethodMigrate fences one stripe and hands it to another server.
+	MethodMigrate = "ps.migrateOut"
+	// MethodReplicate installs a read replica of a stripe on another
+	// server; MethodUnreplicate detaches it again.
+	MethodReplicate   = "ps.replicate"
+	MethodUnreplicate = "ps.unreplicate"
+	// MethodDropStripe removes a single stripe block (replica teardown).
+	MethodDropStripe = "ps.dropStripe"
 )
+
+// Per-stripe status bytes in pull/push replies.
+const (
+	stripeOK    = 0
+	stripeMoved = 1 // not owned here (migrated away or never installed)
+)
+
+// Stripe-frame flag bits.
+const flagReplica = 1 // install as read replica, version-gated
 
 // The legacy gob wire structs below are no longer what the data plane
 // sends; they remain as the reference schema for the gob-baseline comm
@@ -83,169 +125,590 @@ type DropArgs struct {
 	Job string
 }
 
-// StripeSize is the number of float64 elements each stripe lock guards
+// RoutesArgs asks a server which stripes of a job it holds.
+type RoutesArgs struct {
+	Job string
+}
+
+// StripeRoute locates one stripe on the replying server.
+type StripeRoute struct {
+	Index   int
+	Lo      int
+	Len     int
+	Primary bool
+}
+
+// RoutesReply lists the job's stripes held by the replying server.
+type RoutesReply struct {
+	Stripes []StripeRoute
+}
+
+// MigrateArgs fences a stripe on the receiving server and hands its
+// state to Dest bit-exactly (the §IV-B4 idea applied per stripe: the
+// fence is the pause, the install frame the checkpoint).
+type MigrateArgs struct {
+	Job    string
+	Stripe int
+	Dest   string
+}
+
+// ReplicateArgs installs a read replica of a stripe on Dest; the
+// receiving server must hold the primary.
+type ReplicateArgs struct {
+	Job    string
+	Stripe int
+	Dest   string
+}
+
+// UnreplicateArgs detaches the Dest replica of a stripe; the receiving
+// server must hold the primary.
+type UnreplicateArgs struct {
+	Job    string
+	Stripe int
+	Dest   string
+}
+
+// DropStripeArgs removes one stripe block from the receiving server.
+type DropStripeArgs struct {
+	Job    string
+	Stripe int
+}
+
+// StatsArgs requests per-stripe load counters.
+type StatsArgs struct{}
+
+// StripeSize is the default number of float64 elements per stripe
 // (256 KiB of parameters). Small enough that co-located jobs' pushes and
-// a snapshot's streaming pull interleave, large enough that lock traffic
-// is negligible against the arithmetic.
+// a snapshot's streaming pull interleave — and that a single hot stripe
+// is a meaningful unit to migrate — large enough that lock and header
+// traffic is negligible against the arithmetic.
 const StripeSize = 32 * 1024
 
-// partition is one job's shard of parameters on one server, sharded into
-// independently locked stripes: locks[i] guards
-// values[i*StripeSize : (i+1)*StripeSize].
+// stripeElemsFor picks the per-stripe element count for a model of n
+// elements initialized across k servers: StripeSize, shrunk so that even
+// a small model yields at least one stripe per server.
+func stripeElemsFor(n, k int) int {
+	se := StripeSize
+	if k > 0 {
+		if perServer := (n + k - 1) / k; perServer < se {
+			se = perServer
+		}
+	}
+	if se < 1 {
+		se = 1
+	}
+	return se
+}
+
+// stripeCount is the number of stripes tiling n elements (always ≥ 1 so
+// the degenerate empty model still registers a partition).
+func stripeCount(n, se int) int {
+	s := (n + se - 1) / se
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// stripeStats are the per-stripe load counters feeding the rebalancer's
+// EWMA score and /metrics. Atomics: pulls bump them under a read lock.
+type stripeStats struct {
+	pullOps   atomic.Int64
+	pushOps   atomic.Int64
+	pullBytes atomic.Int64
+	pushBytes atomic.Int64
+	lockWait  atomic.Int64 // nanoseconds waiting for gate + stripe lock
+}
+
+// stripeBlock is one stripe of one job on one server: the unit of
+// locking, accounting and migration.
+type stripeBlock struct {
+	mu   sync.RWMutex
+	idx  int
+	lo   int
+	vals []float64
+	// version counts mutations; replica installs are gated on it so a
+	// stale propagation can never roll a replica backwards. Guarded by mu.
+	version uint64
+	// primary: pushes apply here and propagate outward; false marks a
+	// read replica. Guarded by mu.
+	primary  bool
+	replicas []string // replica server addrs (primary only); guarded by mu
+	// moved tombstones a migrated-away stripe: ops that raced the fence
+	// and acquired the lock after handoff observe it and report
+	// stripeMoved instead of touching stale state. Guarded by mu.
+	moved bool
+	stats stripeStats
+}
+
+// partition holds one job's stripe blocks on one server.
 type partition struct {
-	lo     int
-	values []float64
-	locks  []sync.RWMutex
+	mu      sync.RWMutex
+	stripes map[int]*stripeBlock
 }
 
-func newPartition(lo int, values []float64) *partition {
-	stripes := (len(values) + StripeSize - 1) / StripeSize
-	if stripes < 1 {
-		stripes = 1
-	}
-	return &partition{lo: lo, values: values, locks: make([]sync.RWMutex, stripes)}
+func newPartition() *partition {
+	return &partition{stripes: make(map[int]*stripeBlock)}
 }
 
-// stripeBounds returns the [lo, hi) element range of stripe s.
-func (p *partition) stripeBounds(s int) (int, int) {
-	lo := s * StripeSize
-	hi := lo + StripeSize
-	if hi > len(p.values) {
-		hi = len(p.values)
-	}
-	return lo, hi
+func (p *partition) get(idx int) *stripeBlock {
+	p.mu.RLock()
+	st := p.stripes[idx]
+	p.mu.RUnlock()
+	return st
 }
 
-// Server hosts partitions for any number of jobs. Register it on an
-// rpc.Server with Register. The server-level lock only guards the
-// partition map; all value access goes through per-stripe locks, so
-// concurrent pushes from co-located jobs (different partitions) and
-// chunked pushes from one job (different stripes) proceed in parallel.
+// Server hosts stripe blocks for any number of jobs. Register it on an
+// rpc.Server with Register; Close releases the replication propagator
+// and any outbound handoff connections. The server-level lock only
+// guards the partition map; all value access goes through per-stripe
+// locks, so concurrent pushes from co-located jobs (different
+// partitions) and from one job (different stripes) proceed in parallel.
 type Server struct {
 	mu    sync.RWMutex
 	parts map[string]*partition
+
+	// gate, when non-nil, bounds concurrent stripe service on this server
+	// (SetServiceLimit). Wait time at the gate folds into the per-stripe
+	// lock-wait measurement: both are time an op spent queued on this
+	// server rather than being served.
+	gate chan struct{}
+	// serviceDelay, when set, is held per stripe op inside the gate: a
+	// stand-in for per-server service capacity (NIC drain, PCIe copy) in
+	// single-process harnesses where every server shares the host CPU and
+	// real service cost would not distinguish placements.
+	serviceDelay time.Duration
+	// lockWait is the server-wide distribution of per-stripe-op wait
+	// (gate + lock acquisition), exported through MethodStats.
+	lockWait metrics.Histogram
+
+	// conns caches outbound connections to peer servers for migration and
+	// replica propagation.
+	connMu sync.Mutex
+	conns  map[string]*rpc.Client
+
+	// Replica propagation: pushes to a replicated stripe mark it dirty;
+	// a lazily started propagator goroutine ships whole-stripe state
+	// (version-gated) to the replicas.
+	replMu   sync.Mutex
+	dirty    map[replKey]bool
+	flushing int
+	started  bool
+	closed   bool
+	wake     chan struct{}
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type replKey struct {
+	job string
+	idx int
 }
 
 // NewServer returns an empty parameter server.
 func NewServer() *Server {
-	return &Server{parts: make(map[string]*partition)}
+	return &Server{
+		parts: make(map[string]*partition),
+		conns: make(map[string]*rpc.Client),
+		dirty: make(map[replKey]bool),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+}
+
+// SetServiceLimit bounds the number of stripe ops this server serves
+// concurrently (0 removes the bound). It models finite per-server
+// service capacity: excess ops queue, and their queueing time lands in
+// the stripe lock-wait counters the rebalancer and /metrics observe.
+// Call before serving traffic.
+func (s *Server) SetServiceLimit(n int) {
+	if n <= 0 {
+		s.gate = nil
+		return
+	}
+	s.gate = make(chan struct{}, n)
+}
+
+// SetServiceDelay makes every stripe op hold the service slot for an
+// extra d (0 disables): a modeled per-op service time for benchmarks
+// that study placement under bounded per-server capacity. Call before
+// serving traffic.
+func (s *Server) SetServiceDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.serviceDelay = d
 }
 
 // Register installs the PS methods on the RPC server. Data-plane methods
 // are inline handlers: they never block on other RPCs and run directly on
-// the connection's read loop, keeping buffers pooled end to end.
+// the connection's read loop, keeping buffers pooled end to end. The
+// handoff methods (migrate, replicate) dial out to peer servers, so they
+// stay on the non-inline dispatch path.
 func (s *Server) Register(srv *rpc.Server) {
-	srv.HandleInline(MethodInit, s.handleInit)
+	srv.HandleInline(MethodInit, func(raw []byte) ([]byte, error) { return s.handleInstall(raw, true) })
+	srv.HandleInline(MethodRestore, func(raw []byte) ([]byte, error) { return s.handleInstall(raw, true) })
+	srv.HandleInline(MethodInstall, func(raw []byte) ([]byte, error) { return s.handleInstall(raw, false) })
 	srv.HandleInline(MethodPull, s.handlePull)
-	srv.HandleInline(MethodPush, s.handlePush)
 	srv.HandleInline(MethodSnapshot, s.handlePull)
-	srv.HandleInline(MethodRestore, s.handleInit)
+	srv.HandleInline(MethodPush, s.handlePush)
 	srv.Handle(MethodDrop, rpc.Typed(s.handleDrop))
+	srv.Handle(MethodRoutes, rpc.Typed(s.handleRoutes))
+	srv.Handle(MethodStats, rpc.Typed(s.handleStats))
+	srv.Handle(MethodMigrate, rpc.Typed(s.handleMigrate))
+	srv.Handle(MethodReplicate, rpc.Typed(s.handleReplicate))
+	srv.Handle(MethodUnreplicate, rpc.Typed(s.handleUnreplicate))
+	srv.Handle(MethodDropStripe, rpc.Typed(s.handleDropStripe))
 }
 
 // lookup fetches a job's partition under the map lock only.
-func (s *Server) lookup(job string) (*partition, error) {
+func (s *Server) lookup(job string) *partition {
 	s.mu.RLock()
-	p, ok := s.parts[job]
+	p := s.parts[job]
 	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("ps: no partition for job %q", job)
-	}
-	return p, nil
+	return p
 }
 
-func (s *Server) handleInit(raw []byte) ([]byte, error) {
+// lockStripe acquires the service gate and the stripe lock, charging the
+// combined wait to the stripe's counters and the server histogram.
+func (s *Server) lockStripe(st *stripeBlock, write bool) {
+	start := time.Now()
+	if s.gate != nil {
+		s.gate <- struct{}{}
+	}
+	if write {
+		st.mu.Lock()
+	} else {
+		st.mu.RLock()
+	}
+	wait := time.Since(start)
+	st.stats.lockWait.Add(int64(wait))
+	s.lockWait.Observe(wait.Seconds())
+	if s.serviceDelay > 0 {
+		// Service, not queueing: spent after acquisition, so it delays
+		// later ops (their wait grows) without inflating this op's wait.
+		time.Sleep(s.serviceDelay)
+	}
+}
+
+func (s *Server) unlockStripe(st *stripeBlock, write bool) {
+	if write {
+		st.mu.Unlock()
+	} else {
+		st.mu.RUnlock()
+	}
+	if s.gate != nil {
+		<-s.gate
+	}
+}
+
+// --- handoff frame codec ----------------------------------------------
+
+// appendStripeFrame encodes one stripe-frame (see the package comment's
+// wire layout). The caller holds whatever lock makes vals stable.
+func appendStripeFrame(dst []byte, idx, lo int, flags byte, version uint64, replicas []string, vals []float64) []byte {
+	dst = rpc.AppendUint32(dst, uint32(idx))
+	dst = rpc.AppendUint32(dst, uint32(lo))
+	dst = append(dst, flags)
+	dst = rpc.AppendUint64(dst, version)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(replicas)))
+	for _, r := range replicas {
+		dst = rpc.AppendString(dst, r)
+	}
+	return rpc.AppendFloats(dst, vals)
+}
+
+type stripeFrame struct {
+	idx, lo  int
+	flags    byte
+	version  uint64
+	replicas []string
+	vals     []float64
+}
+
+// readStripeFrame decodes one stripe-frame, copying values out of the
+// wire buffer (install keeps them past the handler's return).
+func readStripeFrame(b []byte) (stripeFrame, []byte, error) {
+	var f stripeFrame
+	idx32, b, err := rpc.ReadUint32(b)
+	if err != nil {
+		return f, nil, err
+	}
+	lo32, b, err := rpc.ReadUint32(b)
+	if err != nil {
+		return f, nil, err
+	}
+	if len(b) < 1 {
+		return f, nil, fmt.Errorf("rpc: stripe frame flags truncated")
+	}
+	f.flags = b[0]
+	version, b, err := rpc.ReadUint64(b[1:])
+	if err != nil {
+		return f, nil, err
+	}
+	if len(b) < 2 {
+		return f, nil, fmt.Errorf("rpc: stripe frame replica count truncated")
+	}
+	nrep := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	for i := 0; i < nrep; i++ {
+		var addr string
+		addr, b, err = rpc.ReadString(b)
+		if err != nil {
+			return f, nil, err
+		}
+		f.replicas = append(f.replicas, addr)
+	}
+	vals, b, err := rpc.ReadFloats(b, nil)
+	if err != nil {
+		return f, nil, err
+	}
+	f.idx, f.lo, f.version, f.vals = int(idx32), int(lo32), version, vals
+	return f, b, nil
+}
+
+// --- data-plane handlers ----------------------------------------------
+
+// handleInstall decodes an init/restore/install message. replace swaps
+// the job's whole partition for the decoded stripes (init/restore);
+// merge installs them into the existing partition one at a time,
+// version-gated for replica propagation (install).
+func (s *Server) handleInstall(raw []byte, replace bool) ([]byte, error) {
 	job, rest, err := rpc.ReadString(raw)
 	if err != nil {
-		return nil, fmt.Errorf("ps: init: %w", err)
+		return nil, fmt.Errorf("ps: install: %w", err)
 	}
-	lo32, rest, err := rpc.ReadUint32(rest)
+	count32, rest, err := rpc.ReadUint32(rest)
 	if err != nil {
-		return nil, fmt.Errorf("ps: init %q: %w", job, err)
+		return nil, fmt.Errorf("ps: install %q: %w", job, err)
 	}
-	vals, _, err := rpc.ReadFloats(rest, nil)
-	if err != nil {
-		return nil, fmt.Errorf("ps: init %q: %w", job, err)
+	count := int(count32)
+	if count > len(rest) { // cheap sanity bound: every frame takes > 1 byte
+		return nil, fmt.Errorf("ps: install %q: stripe count %d exceeds body", job, count)
 	}
-	p := newPartition(int(lo32), vals)
+	frames := make([]stripeFrame, 0, count)
+	for i := 0; i < count; i++ {
+		var f stripeFrame
+		f, rest, err = readStripeFrame(rest)
+		if err != nil {
+			return nil, fmt.Errorf("ps: install %q stripe %d/%d: %w", job, i, count, err)
+		}
+		frames = append(frames, f)
+	}
+	if replace {
+		p := newPartition()
+		for _, f := range frames {
+			p.stripes[f.idx] = &stripeBlock{
+				idx: f.idx, lo: f.lo, vals: f.vals, version: f.version,
+				primary: f.flags&flagReplica == 0, replicas: f.replicas,
+			}
+		}
+		s.mu.Lock()
+		s.parts[job] = p
+		s.mu.Unlock()
+		return nil, nil
+	}
 	s.mu.Lock()
-	s.parts[job] = p
+	p := s.parts[job]
+	if p == nil {
+		p = newPartition()
+		s.parts[job] = p
+	}
 	s.mu.Unlock()
+	for _, f := range frames {
+		s.installStripe(p, f)
+	}
 	return nil, nil
 }
 
-// handlePull streams the partition out stripe by stripe: each stripe is
-// encoded under its own read lock, so a snapshot of a large job never
-// stalls co-located jobs' pushes (they contend per stripe, not per
-// server) and the full partition is never copied under one lock.
+// installStripe merges one handoff frame into the partition. Primary
+// installs (migration) replace unconditionally; replica installs apply
+// only when they advance the version, so reordered propagations can
+// never roll a replica backwards.
+func (s *Server) installStripe(p *partition, f stripeFrame) {
+	incomingPrimary := f.flags&flagReplica == 0
+	p.mu.Lock()
+	st := p.stripes[f.idx]
+	if st == nil {
+		p.stripes[f.idx] = &stripeBlock{
+			idx: f.idx, lo: f.lo, vals: f.vals, version: f.version,
+			primary: incomingPrimary, replicas: f.replicas,
+		}
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	st.mu.Lock()
+	if !incomingPrimary && st.version >= f.version && !st.moved {
+		st.mu.Unlock()
+		return // stale propagation
+	}
+	st.lo, st.vals, st.version = f.lo, f.vals, f.version
+	st.primary = incomingPrimary
+	st.replicas = f.replicas
+	st.moved = false
+	st.mu.Unlock()
+}
+
+// handlePull streams the requested stripes out one by one: each stripe
+// is encoded under its own read lock, so a snapshot of a large job never
+// stalls co-located jobs' pushes. Stripes this server no longer owns
+// come back with a moved status the client uses to refresh its routes.
 func (s *Server) handlePull(raw []byte) ([]byte, error) {
-	job, _, err := rpc.ReadString(raw)
+	job, rest, err := rpc.ReadString(raw)
 	if err != nil {
 		return nil, fmt.Errorf("ps: pull: %w", err)
 	}
-	p, err := s.lookup(job)
+	count32, rest, err := rpc.ReadUint32(rest)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ps: pull %q: %w", job, err)
 	}
-	reply := rpc.GetBuffer(8 + rpc.FloatsLen(len(p.values)))[:0]
-	reply = rpc.AppendUint32(reply, uint32(p.lo))
-	reply = rpc.AppendUint32(reply, uint32(len(p.values)))
-	for st := range p.locks {
-		lo, hi := p.stripeBounds(st)
-		p.locks[st].RLock()
-		reply = rpc.AppendFloatValues(reply, p.values[lo:hi])
-		p.locks[st].RUnlock()
+	count := int(count32)
+	p := s.lookup(job)
+	reply := rpc.GetBuffer(4096)[:0]
+	reply = rpc.AppendUint32(reply, count32)
+	for i := 0; i < count; i++ {
+		idx32, next, err := rpc.ReadUint32(rest)
+		if err != nil {
+			rpc.PutBuffer(reply)
+			return nil, fmt.Errorf("ps: pull %q: %w", job, err)
+		}
+		rest = next
+		var st *stripeBlock
+		if p != nil {
+			st = p.get(int(idx32))
+		}
+		if st == nil {
+			reply = rpc.AppendUint32(reply, idx32)
+			reply = append(reply, stripeMoved)
+			continue
+		}
+		s.lockStripe(st, false)
+		if st.moved {
+			s.unlockStripe(st, false)
+			reply = rpc.AppendUint32(reply, idx32)
+			reply = append(reply, stripeMoved)
+			continue
+		}
+		reply = rpc.AppendUint32(reply, idx32)
+		reply = append(reply, stripeOK)
+		reply = rpc.AppendUint32(reply, uint32(st.lo))
+		reply = rpc.AppendFloats(reply, st.vals)
+		st.stats.pullOps.Add(1)
+		st.stats.pullBytes.Add(int64(8 * len(st.vals)))
+		s.unlockStripe(st, false)
 	}
 	return reply, nil
 }
 
-// handlePush accumulates a delta straight off the wire, stripe by
-// stripe. Sub-range deltas are accepted, so one job may chunk its push
-// across several calls.
+// handlePush accumulates deltas straight off the wire, stripe by stripe.
+// Sub-stripe ranges are accepted. Stripes this server no longer owns are
+// reported back unapplied; a delta that does not fit its stripe is a
+// caller bug and fails the whole call.
 func (s *Server) handlePush(raw []byte) ([]byte, error) {
 	job, rest, err := rpc.ReadString(raw)
 	if err != nil {
 		return nil, fmt.Errorf("ps: push: %w", err)
 	}
-	lo32, rest, err := rpc.ReadUint32(rest)
+	count32, rest, err := rpc.ReadUint32(rest)
 	if err != nil {
 		return nil, fmt.Errorf("ps: push %q: %w", job, err)
 	}
-	count, data, _, err := rpc.FloatFrame(rest)
-	if err != nil {
-		return nil, fmt.Errorf("ps: push %q: %w", job, err)
-	}
-	p, err := s.lookup(job)
-	if err != nil {
-		return nil, err
-	}
-	start := int(lo32) - p.lo
-	if start < 0 || start+count > len(p.values) {
-		return nil, fmt.Errorf("ps: push shape mismatch for job %q: [%d,%d) vs [%d,%d)",
-			job, lo32, int(lo32)+count, p.lo, p.lo+len(p.values))
-	}
-	for st := start / StripeSize; st*StripeSize < start+count; st++ {
-		lo, hi := p.stripeBounds(st)
-		if lo < start {
-			lo = start
+	count := int(count32)
+	p := s.lookup(job)
+	var failed []uint32
+	for i := 0; i < count; i++ {
+		idx32, next, err := rpc.ReadUint32(rest)
+		if err != nil {
+			return nil, fmt.Errorf("ps: push %q: %w", job, err)
 		}
-		if hi > start+count {
-			hi = start + count
+		lo32, next, err := rpc.ReadUint32(next)
+		if err != nil {
+			return nil, fmt.Errorf("ps: push %q: %w", job, err)
 		}
-		p.locks[st].Lock()
-		for i := lo; i < hi; i++ {
-			p.values[i] += rpc.FloatAt(data, i-start)
+		n, data, next, err := rpc.FloatFrame(next)
+		if err != nil {
+			return nil, fmt.Errorf("ps: push %q stripe %d: %w", job, idx32, err)
 		}
-		p.locks[st].Unlock()
+		rest = next
+		var st *stripeBlock
+		if p != nil {
+			st = p.get(int(idx32))
+		}
+		if st == nil {
+			failed = append(failed, idx32)
+			continue
+		}
+		s.lockStripe(st, true)
+		if st.moved || !st.primary {
+			// Writes aggregate at the owner; a replica bounces the push so
+			// the client re-routes it there.
+			s.unlockStripe(st, true)
+			failed = append(failed, idx32)
+			continue
+		}
+		start := int(lo32) - st.lo
+		if start < 0 || start+n > len(st.vals) {
+			s.unlockStripe(st, true)
+			return nil, fmt.Errorf("ps: push shape mismatch for job %q: [%d,%d) vs stripe %d [%d,%d)",
+				job, lo32, int(lo32)+n, st.idx, st.lo, st.lo+len(st.vals))
+		}
+		for k := 0; k < n; k++ {
+			st.vals[start+k] += rpc.FloatAt(data, k)
+		}
+		st.version++
+		propagate := len(st.replicas) > 0
+		st.stats.pushOps.Add(1)
+		st.stats.pushBytes.Add(int64(8 * n))
+		s.unlockStripe(st, true)
+		if propagate {
+			s.markDirty(job, int(idx32))
+		}
 	}
-	return nil, nil
+	reply := rpc.GetBuffer(4 + 4*len(failed))[:0]
+	reply = rpc.AppendUint32(reply, uint32(len(failed)))
+	for _, idx := range failed {
+		reply = rpc.AppendUint32(reply, idx)
+	}
+	return reply, nil
 }
 
 func (s *Server) handleDrop(a DropArgs) (Ack, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.parts, a.Job)
+	s.mu.Unlock()
+	s.replMu.Lock()
+	for k := range s.dirty {
+		if k.job == a.Job {
+			delete(s.dirty, k)
+		}
+	}
+	s.replMu.Unlock()
 	return Ack{}, nil
+}
+
+func (s *Server) handleRoutes(a RoutesArgs) (RoutesReply, error) {
+	p := s.lookup(a.Job)
+	if p == nil {
+		return RoutesReply{}, nil
+	}
+	p.mu.RLock()
+	blocks := make([]*stripeBlock, 0, len(p.stripes))
+	for _, st := range p.stripes {
+		blocks = append(blocks, st)
+	}
+	p.mu.RUnlock()
+	var reply RoutesReply
+	for _, st := range blocks {
+		st.mu.RLock()
+		if !st.moved {
+			reply.Stripes = append(reply.Stripes, StripeRoute{
+				Index: st.idx, Lo: st.lo, Len: len(st.vals), Primary: st.primary,
+			})
+		}
+		st.mu.RUnlock()
+	}
+	return reply, nil
 }
 
 // Jobs reports the jobs with partitions on this server.
@@ -255,35 +718,343 @@ func (s *Server) Jobs() int {
 	return len(s.parts)
 }
 
-// Client talks to the full set of parameter servers hosting one job's
-// model, assembling pulls and scattering pushes across partitions.
-type Client struct {
-	clients []*rpc.Client
-	timeout time.Duration
+// --- migration and replication ----------------------------------------
+
+// conn returns a cached outbound connection to a peer server.
+func (s *Server) conn(addr string) (*rpc.Client, error) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if cl, ok := s.conns[addr]; ok {
+		return cl, nil
+	}
+	cl, err := rpc.Dial(addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	s.conns[addr] = cl
+	return cl, nil
 }
 
-// NewClient connects to every server address.
-func NewClient(addrs []string, timeout time.Duration) (*Client, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("ps: no server addresses")
+// handleMigrate is the fence-and-handoff protocol (DESIGN.md §12): take
+// the stripe's write lock (the fence — racing ops queue behind it),
+// encode its exact state as an install frame, hand it to the destination,
+// and tombstone the local block. Ops that were queued on the fence
+// observe the tombstone and report moved, steering the client to the new
+// owner. The handoff is bit-exact: values travel as raw IEEE-754 bits.
+func (s *Server) handleMigrate(a MigrateArgs) (Ack, error) {
+	p := s.lookup(a.Job)
+	if p == nil {
+		return Ack{}, fmt.Errorf("ps: migrate: no stripes for job %q", a.Job)
 	}
-	if timeout <= 0 {
-		timeout = 30 * time.Second
+	st := p.get(a.Stripe)
+	if st == nil {
+		return Ack{}, fmt.Errorf("ps: migrate: job %q stripe %d not here", a.Job, a.Stripe)
 	}
-	c := &Client{timeout: timeout}
-	for _, addr := range addrs {
-		cl, err := rpc.Dial(addr, timeout)
-		if err != nil {
-			c.Close()
-			return nil, err
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.moved {
+		return Ack{}, fmt.Errorf("ps: migrate: job %q stripe %d already moved", a.Job, a.Stripe)
+	}
+	if !st.primary {
+		return Ack{}, fmt.Errorf("ps: migrate: job %q stripe %d is a replica here", a.Job, a.Stripe)
+	}
+	// The destination may currently hold a replica of this stripe: it is
+	// promoted by the primary install and must not appear in its own
+	// replica list.
+	replicas := make([]string, 0, len(st.replicas))
+	for _, r := range st.replicas {
+		if r != a.Dest {
+			replicas = append(replicas, r)
 		}
-		c.clients = append(c.clients, cl)
 	}
-	return c, nil
+	cl, err := s.conn(a.Dest)
+	if err != nil {
+		return Ack{}, fmt.Errorf("ps: migrate to %s: %w", a.Dest, err)
+	}
+	body := rpc.GetBuffer(2 + len(a.Job) + 4)[:0]
+	body = rpc.AppendString(body, a.Job)
+	body = rpc.AppendUint32(body, 1)
+	body = appendStripeFrame(body, st.idx, st.lo, 0, st.version, replicas, st.vals)
+	reply, err := cl.Call(MethodInstall, body, time.Minute)
+	rpc.PutBuffer(body)
+	rpc.PutBuffer(reply)
+	if err != nil {
+		// Handoff failed: the stripe stays here, fully intact.
+		return Ack{}, fmt.Errorf("ps: migrate job %q stripe %d to %s: %w", a.Job, a.Stripe, a.Dest, err)
+	}
+	st.moved = true
+	st.replicas = nil
+	p.mu.Lock()
+	delete(p.stripes, a.Stripe)
+	p.mu.Unlock()
+	return Ack{}, nil
 }
 
-// Partition computes server i's slice bounds for a model of size n over
-// k servers: even ranges with the remainder spread over the first few.
+func (s *Server) handleReplicate(a ReplicateArgs) (Ack, error) {
+	p := s.lookup(a.Job)
+	if p == nil {
+		return Ack{}, fmt.Errorf("ps: replicate: no stripes for job %q", a.Job)
+	}
+	st := p.get(a.Stripe)
+	if st == nil {
+		return Ack{}, fmt.Errorf("ps: replicate: job %q stripe %d not here", a.Job, a.Stripe)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.moved || !st.primary {
+		return Ack{}, fmt.Errorf("ps: replicate: job %q stripe %d is not primary here", a.Job, a.Stripe)
+	}
+	for _, r := range st.replicas {
+		if r == a.Dest {
+			return Ack{}, nil // already attached
+		}
+	}
+	cl, err := s.conn(a.Dest)
+	if err != nil {
+		return Ack{}, fmt.Errorf("ps: replicate to %s: %w", a.Dest, err)
+	}
+	body := rpc.GetBuffer(2 + len(a.Job) + 4)[:0]
+	body = rpc.AppendString(body, a.Job)
+	body = rpc.AppendUint32(body, 1)
+	body = appendStripeFrame(body, st.idx, st.lo, flagReplica, st.version, nil, st.vals)
+	reply, err := cl.Call(MethodInstall, body, time.Minute)
+	rpc.PutBuffer(body)
+	rpc.PutBuffer(reply)
+	if err != nil {
+		return Ack{}, fmt.Errorf("ps: replicate job %q stripe %d to %s: %w", a.Job, a.Stripe, a.Dest, err)
+	}
+	st.replicas = append(st.replicas, a.Dest)
+	return Ack{}, nil
+}
+
+func (s *Server) handleUnreplicate(a UnreplicateArgs) (Ack, error) {
+	p := s.lookup(a.Job)
+	if p == nil {
+		return Ack{}, fmt.Errorf("ps: unreplicate: no stripes for job %q", a.Job)
+	}
+	st := p.get(a.Stripe)
+	if st == nil {
+		return Ack{}, fmt.Errorf("ps: unreplicate: job %q stripe %d not here", a.Job, a.Stripe)
+	}
+	st.mu.Lock()
+	if st.moved || !st.primary {
+		st.mu.Unlock()
+		return Ack{}, fmt.Errorf("ps: unreplicate: job %q stripe %d is not primary here", a.Job, a.Stripe)
+	}
+	kept := st.replicas[:0]
+	for _, r := range st.replicas {
+		if r != a.Dest {
+			kept = append(kept, r)
+		}
+	}
+	st.replicas = kept
+	st.mu.Unlock()
+	// Best-effort teardown of the detached replica block; a failure
+	// leaves a stale block that only wastes memory (it can never serve a
+	// push, and the client routes reads by refreshed routes).
+	if cl, err := s.conn(a.Dest); err == nil {
+		_, _ = rpc.Invoke[DropStripeArgs, Ack](cl, MethodDropStripe,
+			DropStripeArgs{Job: a.Job, Stripe: a.Stripe}, time.Minute)
+	}
+	return Ack{}, nil
+}
+
+func (s *Server) handleDropStripe(a DropStripeArgs) (Ack, error) {
+	p := s.lookup(a.Job)
+	if p == nil {
+		return Ack{}, nil
+	}
+	st := p.get(a.Stripe)
+	if st == nil {
+		return Ack{}, nil
+	}
+	st.mu.Lock()
+	st.moved = true
+	st.mu.Unlock()
+	p.mu.Lock()
+	delete(p.stripes, a.Stripe)
+	p.mu.Unlock()
+	return Ack{}, nil
+}
+
+// markDirty queues a replicated stripe for propagation and wakes the
+// propagator, starting it on first use.
+func (s *Server) markDirty(job string, idx int) {
+	s.replMu.Lock()
+	if s.closed {
+		s.replMu.Unlock()
+		return
+	}
+	s.dirty[replKey{job, idx}] = true
+	if !s.started {
+		s.started = true
+		s.wg.Add(1)
+		go s.propagate()
+	}
+	s.replMu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// propagate is the replica propagator: it drains the dirty set, shipping
+// each stripe's current state to its replicas. Propagation coalesces —
+// many pushes between flushes cost one send — and is version-gated at
+// the receiving end, so replicas converge to the primary's latest state.
+func (s *Server) propagate() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		}
+		for {
+			s.replMu.Lock()
+			var key replKey
+			found := false
+			for k := range s.dirty {
+				key, found = k, true
+				break
+			}
+			if !found {
+				s.replMu.Unlock()
+				break
+			}
+			delete(s.dirty, key)
+			s.flushing++
+			s.replMu.Unlock()
+			s.flushStripe(key.job, key.idx)
+			s.replMu.Lock()
+			s.flushing--
+			s.replMu.Unlock()
+		}
+	}
+}
+
+// flushStripe ships one stripe's state to its replicas, best effort: an
+// unreachable replica drops this round and catches up on the next push.
+func (s *Server) flushStripe(job string, idx int) {
+	p := s.lookup(job)
+	if p == nil {
+		return
+	}
+	st := p.get(idx)
+	if st == nil {
+		return
+	}
+	st.mu.RLock()
+	if st.moved || !st.primary || len(st.replicas) == 0 {
+		st.mu.RUnlock()
+		return
+	}
+	replicas := append([]string(nil), st.replicas...)
+	body := rpc.GetBuffer(2 + len(job) + 4)[:0]
+	body = rpc.AppendString(body, job)
+	body = rpc.AppendUint32(body, 1)
+	body = appendStripeFrame(body, st.idx, st.lo, flagReplica, st.version, nil, st.vals)
+	st.mu.RUnlock()
+	for _, addr := range replicas {
+		cl, err := s.conn(addr)
+		if err != nil {
+			continue
+		}
+		reply, err := cl.Call(MethodInstall, body, time.Minute)
+		if err == nil {
+			rpc.PutBuffer(reply)
+		}
+	}
+	rpc.PutBuffer(body)
+}
+
+// FlushReplication blocks until every queued replica propagation has
+// drained (tests and orderly shutdown; steady-state callers never wait).
+func (s *Server) FlushReplication(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.replMu.Lock()
+		idle := len(s.dirty) == 0 && s.flushing == 0
+		s.replMu.Unlock()
+		if idle {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ps: replication not drained after %s", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Stats snapshots this server's per-stripe load counters (the in-process
+// mirror of MethodStats, used by tests and the local bench harness).
+func (s *Server) Stats() StatsReply {
+	s.mu.RLock()
+	jobs := make(map[string]*partition, len(s.parts))
+	for name, p := range s.parts {
+		jobs[name] = p
+	}
+	s.mu.RUnlock()
+	var reply StatsReply
+	for name, p := range jobs {
+		p.mu.RLock()
+		blocks := make([]*stripeBlock, 0, len(p.stripes))
+		for _, st := range p.stripes {
+			blocks = append(blocks, st)
+		}
+		p.mu.RUnlock()
+		js := JobStats{Job: name}
+		for _, st := range blocks {
+			st.mu.RLock()
+			stat := StripeStat{
+				Index: st.idx, Lo: st.lo, Len: len(st.vals),
+				Primary: st.primary, Replicas: len(st.replicas),
+			}
+			st.mu.RUnlock()
+			stat.PullOps = st.stats.pullOps.Load()
+			stat.PushOps = st.stats.pushOps.Load()
+			stat.PullBytes = st.stats.pullBytes.Load()
+			stat.PushBytes = st.stats.pushBytes.Load()
+			stat.LockWaitSeconds = time.Duration(st.stats.lockWait.Load()).Seconds()
+			js.Stripes = append(js.Stripes, stat)
+		}
+		reply.Jobs = append(reply.Jobs, js)
+	}
+	reply.LockWait = s.lockWait.Snapshot()
+	return reply
+}
+
+func (s *Server) handleStats(StatsArgs) (StatsReply, error) {
+	return s.Stats(), nil
+}
+
+// Close stops the replica propagator and closes outbound handoff
+// connections. The RPC server hosting the methods is closed separately.
+func (s *Server) Close() {
+	s.replMu.Lock()
+	if s.closed {
+		s.replMu.Unlock()
+		return
+	}
+	s.closed = true
+	started := s.started
+	s.replMu.Unlock()
+	if started {
+		close(s.stop)
+	}
+	s.wg.Wait()
+	s.connMu.Lock()
+	for _, cl := range s.conns {
+		cl.Close()
+	}
+	s.conns = make(map[string]*rpc.Client)
+	s.connMu.Unlock()
+}
+
+// Partition computes server i's slice bounds for n items over k servers:
+// even ranges with the remainder spread over the first few. The elastic
+// layer uses it to place stripes (n = stripe count) at Init; the name
+// and element-range semantics predate stripe-granular placement.
 func Partition(n, k, i int) (lo, hi int) {
 	base := n / k
 	extra := n % k
@@ -293,176 +1064,6 @@ func Partition(n, k, i int) (lo, hi int) {
 		hi++
 	}
 	return lo, hi
-}
-
-// bulkBody assembles a data-plane request body in a pooled buffer:
-// str job | u32 lo | floats vals (the float frame is omitted for pulls).
-func bulkBody(job string, lo int, vals []float64, withFloats bool) []byte {
-	n := 2 + len(job) + 4
-	if withFloats {
-		n += rpc.FloatsLen(len(vals))
-	}
-	body := rpc.GetBuffer(n)[:0]
-	body = rpc.AppendString(body, job)
-	body = rpc.AppendUint32(body, uint32(lo))
-	if withFloats {
-		body = rpc.AppendFloats(body, vals)
-	}
-	return body
-}
-
-// Init distributes a full model across the servers, one partition per
-// server, concurrently — like Pull and Push, deployment is bounded by the
-// slowest server rather than the sum of sequential round trips.
-func (c *Client) Init(job string, model []float64) error {
-	return c.scatter(job, model, MethodInit)
-}
-
-// scatter fans a full-model payload out across the servers.
-func (c *Client) scatter(job string, model []float64, method string) error {
-	k := len(c.clients)
-	errs := make([]error, k)
-	var moved int64
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i, cl := range c.clients {
-		lo, hi := Partition(len(model), k, i)
-		wg.Add(1)
-		go func(i int, cl *rpc.Client, lo, hi int) {
-			defer wg.Done()
-			body := bulkBody(job, lo, model[lo:hi], true)
-			reply, err := cl.Call(method, body, c.timeout)
-			rpc.PutBuffer(body)
-			rpc.PutBuffer(reply)
-			errs[i] = err
-		}(i, cl, lo, hi)
-		moved += int64(8 * (hi - lo))
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("ps: %s on server %d: %w", method, i, err)
-		}
-	}
-	if method == MethodPush {
-		metrics.Comm.ObservePush(moved, time.Since(start))
-	}
-	return nil
-}
-
-// Pull fetches the full model, one partition per server, concurrently —
-// the PULL subtask. It allocates a fresh model; iterating callers should
-// prefer PullInto with a reused buffer.
-func (c *Client) Pull(job string, modelSize int) ([]float64, error) {
-	model := make([]float64, modelSize)
-	if err := c.PullInto(job, model); err != nil {
-		return nil, err
-	}
-	return model, nil
-}
-
-// PullInto fetches the full model into the caller's buffer (len(model)
-// is the model size). Each server's reply decodes straight into its
-// slice of the buffer, so the steady-state pull allocates nothing.
-func (c *Client) PullInto(job string, model []float64) error {
-	return c.gather(job, model, MethodPull)
-}
-
-func (c *Client) gather(job string, model []float64, method string) error {
-	errs := make([]error, len(c.clients))
-	var mu sync.Mutex
-	var moved int64
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i, cl := range c.clients {
-		wg.Add(1)
-		go func(i int, cl *rpc.Client) {
-			defer wg.Done()
-			body := bulkBody(job, 0, nil, false)
-			reply, err := cl.Call(method, body, c.timeout)
-			rpc.PutBuffer(body)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			errs[i] = decodePartitionInto(reply, model)
-			mu.Lock()
-			moved += int64(len(reply))
-			mu.Unlock()
-			rpc.PutBuffer(reply)
-		}(i, cl)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("ps: %s from server %d: %w", method, i, err)
-		}
-	}
-	metrics.Comm.ObservePull(moved, time.Since(start))
-	return nil
-}
-
-// decodePartitionInto places one server's pull reply into its range of
-// the assembled model.
-func decodePartitionInto(reply []byte, model []float64) error {
-	lo32, rest, err := rpc.ReadUint32(reply)
-	if err != nil {
-		return err
-	}
-	count, data, _, err := rpc.FloatFrame(rest)
-	if err != nil {
-		return err
-	}
-	lo := int(lo32)
-	if lo+count > len(model) {
-		return fmt.Errorf("ps: partition [%d,%d) outside model of size %d", lo, lo+count, len(model))
-	}
-	dst := model[lo : lo+count]
-	for i := range dst {
-		dst[i] = rpc.FloatAt(data, i)
-	}
-	return nil
-}
-
-// Push scatters an additive delta across the servers — the PUSH subtask.
-func (c *Client) Push(job string, delta []float64) error {
-	return c.scatter(job, delta, MethodPush)
-}
-
-// Snapshot checkpoints the full model (used when pausing a job). It rides
-// the same binary codec and per-stripe streaming as Pull, so snapshotting
-// a large job does not stall co-located jobs' pushes.
-func (c *Client) Snapshot(job string, modelSize int) ([]float64, error) {
-	model := make([]float64, modelSize)
-	if err := c.gather(job, model, MethodSnapshot); err != nil {
-		return nil, err
-	}
-	return model, nil
-}
-
-// Restore reinstalls a checkpointed model across the servers (the
-// §IV-B4 migration path; same wire format as Init).
-func (c *Client) Restore(job string, model []float64) error {
-	return c.scatter(job, model, MethodRestore)
-}
-
-// Drop removes the job's partitions from every server.
-func (c *Client) Drop(job string) error {
-	for i, cl := range c.clients {
-		if _, err := rpc.Invoke[DropArgs, Ack](cl, MethodDrop, DropArgs{Job: job}, c.timeout); err != nil {
-			return fmt.Errorf("ps: drop on server %d: %w", i, err)
-		}
-	}
-	return nil
-}
-
-// Close tears down the connections.
-func (c *Client) Close() {
-	for _, cl := range c.clients {
-		if cl != nil {
-			cl.Close()
-		}
-	}
 }
 
 func minInt(a, b int) int {

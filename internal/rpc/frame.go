@@ -184,3 +184,17 @@ func ReadUint32(b []byte) (v uint32, rest []byte, err error) {
 	}
 	return binary.LittleEndian.Uint32(b), b[4:], nil
 }
+
+// AppendUint64 appends a little-endian u64 (stripe versions in handoff
+// frames).
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// ReadUint64 decodes a little-endian u64 and returns the rest.
+func ReadUint64(b []byte) (v uint64, rest []byte, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("rpc: uint64 truncated")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}

@@ -28,6 +28,7 @@ const (
 	MethodDropJob  = "worker.dropJob"
 	MethodSetAlpha = "worker.setAlpha"
 	MethodStats    = "worker.stats"
+	MethodUpdatePS = "worker.updatePS"
 )
 
 // Master-side methods the worker calls.
@@ -82,6 +83,15 @@ type DropJobArgs struct {
 type SetAlphaArgs struct {
 	Job   string
 	Alpha float64
+}
+
+// UpdatePSArgs rewires a running job's PS client to a new server set —
+// the worker-side half of elastic resizing (DESIGN.md §12). The client
+// keeps connections to retained servers and refreshes its stripe routes
+// lazily, so in-flight iterations see at most one moved-stripe retry.
+type UpdatePSArgs struct {
+	Job     string
+	Servers []string
 }
 
 // SpanCursorNone asks a Stats call to skip span payloads entirely —
@@ -237,6 +247,7 @@ func New(name, addr, masterAddr, spillDir string) (*Worker, string, error) {
 	w.srv.Handle(MethodDropJob, rpc.Typed(w.handleDropJob))
 	w.srv.Handle(MethodSetAlpha, rpc.Typed(w.handleSetAlpha))
 	w.srv.Handle(MethodStats, rpc.Typed(w.handleStats))
+	w.srv.Handle(MethodUpdatePS, rpc.Typed(w.handleUpdatePS))
 	bound, err := w.srv.Listen(addr)
 	if err != nil {
 		return nil, "", err
@@ -551,6 +562,19 @@ func (w *Worker) handleSetAlpha(a SetAlphaArgs) (Ack, error) {
 	return Ack{}, st.store.SetAlpha(a.Alpha)
 }
 
+func (w *Worker) handleUpdatePS(a UpdatePSArgs) (Ack, error) {
+	w.mu.Lock()
+	st, ok := w.jobs[a.Job]
+	w.mu.Unlock()
+	if !ok {
+		return Ack{}, fmt.Errorf("worker %s: job %q not loaded", w.name, a.Job)
+	}
+	if err := st.client.SetServers(a.Servers); err != nil {
+		return Ack{}, fmt.Errorf("worker %s: update ps: %w", w.name, err)
+	}
+	return Ack{}, nil
+}
+
 func (w *Worker) handleStats(a StatsArgs) (StatsReply, error) {
 	cpu, net := w.exec.Utilization()
 	w.mu.Lock()
@@ -616,6 +640,7 @@ func (w *Worker) Close() {
 		st.store.Close()
 	}
 	w.exec.Close()
+	w.psrv.Close()
 	w.srv.Close()
 }
 
