@@ -139,9 +139,13 @@ type Master struct {
 	trace   *traceState
 
 	// Hot-stripe rebalancer state (psstats.go): the balancer has its own
-	// lock so scrape rounds never hold Master.mu across RPCs.
+	// lock so scrape rounds never hold Master.mu across RPCs. psOpMu
+	// serializes rebalance rounds with ResizeJobServers — a round planned
+	// against a pre-resize server set must not execute while servers
+	// drain out of it. Lock order: psOpMu → mu → psMu.
 	psMu     sync.Mutex
 	balancer *ps.Balancer
+	psOpMu   sync.Mutex
 	psStop   chan struct{}
 	psWG     sync.WaitGroup
 }

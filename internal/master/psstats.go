@@ -67,18 +67,26 @@ func (m *Master) psConn() ps.ConnFunc {
 }
 
 // RebalancePS runs one observe-plan-execute round of the hot-stripe
-// rebalancer over all registered workers and returns the planned moves
-// and how many executed. Safe to call concurrently with the background
-// loop; rounds serialize on the balancer lock.
+// rebalancer and returns the planned moves and how many executed. Each
+// running job's stripes are only (re)placed within that job's own
+// server set: its PS clients refresh routes against those servers
+// alone, so a stripe parked anywhere else would be unreachable. Safe to
+// call concurrently with the background loop; whole rounds serialize
+// with each other and with ResizeJobServers on psOpMu.
 func (m *Master) RebalancePS(opts ps.PlanOptions) ([]ps.Move, int, error) {
 	cs, err := m.PSStats()
 	if err != nil {
 		return nil, 0, err
 	}
+	m.psOpMu.Lock()
+	defer m.psOpMu.Unlock()
+
 	m.mu.Lock()
-	addrs := make([]string, len(m.workers))
-	for i, w := range m.workers {
-		addrs[i] = w.addr
+	domains := make(map[string][]string, len(m.jobs))
+	for name, j := range m.jobs {
+		if j.status == StatusRunning {
+			domains[name] = m.serverAddrsLocked(j)
+		}
 	}
 	m.mu.Unlock()
 
@@ -87,12 +95,16 @@ func (m *Master) RebalancePS(opts ps.PlanOptions) ([]ps.Move, int, error) {
 		m.balancer = ps.NewBalancer(0)
 	}
 	m.balancer.Observe(cs)
-	moves := m.balancer.Plan(addrs, opts)
+	moves := m.balancer.PlanJobs(domains, opts)
 	m.psMu.Unlock()
 	if len(moves) == 0 {
 		return nil, 0, nil
 	}
-	done, execErr := ps.ExecuteMoves(m.psConn(), moves, time.Minute)
+	executed, execErr := ps.ExecuteMoves(m.psConn(), moves, time.Minute)
+	done := len(executed)
+	m.psMu.Lock()
+	m.balancer.CommitMoves(executed)
+	m.psMu.Unlock()
 	ev := Event{Kind: EventPSRebalance, Note: describeMoves(moves, done)}
 	if job, same := singleJob(moves); same {
 		ev.Job = job
@@ -163,6 +175,11 @@ func (m *Master) StartPSRebalancer(interval time.Duration, opts ps.PlanOptions) 
 // the new set. Grown-in servers start empty and fill as the rebalancer
 // moves hot stripes onto them.
 func (m *Master) ResizeJobServers(name string, group []string) error {
+	// Serialize with RebalancePS (psOpMu): a rebalance round planned
+	// against the pre-resize server set must not re-place stripes onto a
+	// server this resize is draining out of the job.
+	m.psOpMu.Lock()
+	defer m.psOpMu.Unlock()
 	m.mu.Lock()
 	j, ok := m.jobs[name]
 	if !ok {

@@ -11,9 +11,17 @@ import (
 )
 
 // maxRouteAttempts bounds the moved-stripe retry loop: each attempt
-// refreshes the route table, so a handful of rounds rides out any burst
+// follows the moved reply's forwarding hint (or refreshes the route
+// table when there is none), so a handful of rounds rides out any burst
 // of concurrent migrations.
 const maxRouteAttempts = 6
+
+// movedRef is one stripe a server bounced, with the forwarding hint from
+// its tombstone ("" when the server has no forwarding entry).
+type movedRef struct {
+	idx int
+	fwd string
+}
 
 // errClientClosed surfaces ops racing Close (or a SetServers shrink)
 // instead of dereferencing a vanished connection.
@@ -411,7 +419,9 @@ func (c *Client) Snapshot(job string, modelSize int) ([]float64, error) {
 }
 
 // pullStripes gathers every stripe overlapping [reqLo, reqLo+len(dst))
-// into dst. Moved stripes trigger a route refresh and retry; connection
+// into dst. A moved stripe with a forwarding hint retries directly at
+// the forward target (chasing the stripe through back-to-back
+// migrations); one without a hint triggers a route refresh. Connection
 // errors abort with the server identity attached.
 func (c *Client) pullStripes(job, method string, reqLo int, dst []float64, allowReplicas bool) error {
 	start := time.Now()
@@ -421,13 +431,14 @@ func (c *Client) pullStripes(job, method string, reqLo int, dst []float64, allow
 		return err
 	}
 	pending := r.overlapping(reqLo, len(dst))
+	forwards := make(map[int]string)
 	useReplicas := allowReplicas && c.readReplicas.Load()
 	for attempt := 0; len(pending) > 0; attempt++ {
 		if attempt >= maxRouteAttempts {
 			return fmt.Errorf("ps: %s %q: %d stripes unavailable after %d attempts",
 				method, job, len(pending), attempt)
 		}
-		if attempt > 0 {
+		if attempt > 0 && !allForwarded(pending, forwards) {
 			if r, err = c.routeCovering(job, reqLo+len(dst), nil); err != nil {
 				return err
 			}
@@ -443,7 +454,9 @@ func (c *Client) pullStripes(job, method string, reqLo int, dst []float64, allow
 			}
 			st := r.stripes[s]
 			addr := st.owner
-			if useReplicas && len(st.replicas) > 0 {
+			if fwd := forwards[s]; fwd != "" && conns[fwd] != nil {
+				addr = fwd
+			} else if useReplicas && len(st.replicas) > 0 {
 				cands := append([]string{st.owner}, st.replicas...)
 				addr = cands[int(c.rr.Add(1))%len(cands)]
 			}
@@ -455,7 +468,7 @@ func (c *Client) pullStripes(job, method string, reqLo int, dst []float64, allow
 		}
 		type result struct {
 			addr  string
-			moved []int
+			moved []movedRef
 			bytes int64
 			err   error
 		}
@@ -493,25 +506,81 @@ func (c *Client) pullStripes(job, method string, reqLo int, dst []float64, allow
 				continue
 			}
 			movedBytes += res.bytes
-			pending = append(pending, res.moved...)
+			for _, mv := range res.moved {
+				setForward(forwards, mv)
+				pending = append(pending, mv.idx)
+			}
 		}
 		if callErr != nil {
 			return callErr
 		}
 	}
+	c.applyForwards(job, forwards)
 	metrics.Comm.ObservePull(movedBytes, time.Since(start))
 	return nil
 }
 
+// allForwarded reports whether every pending stripe has a forwarding
+// hint — then the retry chases the hints directly and the route
+// re-scrape (whose answer the next migration can invalidate) is skipped.
+func allForwarded(pending []int, forwards map[int]string) bool {
+	for _, s := range pending {
+		if forwards[s] == "" {
+			return false
+		}
+	}
+	return len(pending) > 0
+}
+
+// setForward records a bounce's forwarding hint, clearing a stale one
+// when the server had no forwarding entry.
+func setForward(forwards map[int]string, mv movedRef) {
+	if mv.fwd != "" {
+		forwards[mv.idx] = mv.fwd
+	} else {
+		delete(forwards, mv.idx)
+	}
+}
+
+// applyForwards promotes the forwarding hints an op chased into the
+// cached route, so subsequent ops go straight to the new owner instead
+// of bouncing through the old one on every call. Replicas are cleared
+// for promoted stripes (migration drops them); the next full refresh
+// restores any. Concurrent promotions may overwrite each other — the
+// route is a hint either way, and the next bounce re-corrects it.
+func (c *Client) applyForwards(job string, forwards map[int]string) {
+	if len(forwards) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.routes[job]
+	if r == nil {
+		return
+	}
+	clone := &jobRoute{stripes: append([]stripeRef(nil), r.stripes...)}
+	changed := false
+	for s, fwd := range forwards {
+		if s < len(clone.stripes) && fwd != "" && clone.stripes[s].owner != fwd {
+			clone.stripes[s].owner = fwd
+			clone.stripes[s].replicas = nil
+			changed = true
+		}
+	}
+	if changed {
+		c.routes[job] = clone
+	}
+}
+
 // decodeStripesInto places a pull reply's stripes into dst (which holds
-// [reqLo, reqLo+len(dst)) of the model) and returns the indices the
-// server reported as moved.
-func decodeStripesInto(reply []byte, reqLo int, dst []float64) ([]int, error) {
+// [reqLo, reqLo+len(dst)) of the model) and returns the stripes the
+// server bounced, each with its forwarding hint.
+func decodeStripesInto(reply []byte, reqLo int, dst []float64) ([]movedRef, error) {
 	count32, rest, err := rpc.ReadUint32(reply)
 	if err != nil {
 		return nil, err
 	}
-	var moved []int
+	var moved []movedRef
 	for i := 0; i < int(count32); i++ {
 		idx32, next, err := rpc.ReadUint32(rest)
 		if err != nil {
@@ -523,7 +592,12 @@ func decodeStripesInto(reply []byte, reqLo int, dst []float64) ([]int, error) {
 		status := next[0]
 		rest = next[1:]
 		if status != stripeOK {
-			moved = append(moved, int(idx32))
+			fwd, next, err := rpc.ReadString(rest)
+			if err != nil {
+				return nil, err
+			}
+			rest = next
+			moved = append(moved, movedRef{idx: int(idx32), fwd: fwd})
 			continue
 		}
 		lo32, next, err := rpc.ReadUint32(rest)
@@ -567,12 +641,13 @@ func (c *Client) pushStripes(job string, reqLo int, delta []float64) error {
 		return err
 	}
 	pending := r.overlapping(reqLo, len(delta))
+	forwards := make(map[int]string)
 	for attempt := 0; len(pending) > 0; attempt++ {
 		if attempt >= maxRouteAttempts {
 			return fmt.Errorf("ps: push %q: %d stripes unapplied after %d attempts",
 				job, len(pending), attempt)
 		}
-		if attempt > 0 {
+		if attempt > 0 && !allForwarded(pending, forwards) {
 			if r, err = c.routeCovering(job, reqLo+len(delta), nil); err != nil {
 				return err
 			}
@@ -582,15 +657,25 @@ func (c *Client) pushStripes(job string, reqLo int, delta []float64) error {
 		groups := make(map[string][]int)
 		var stale []int
 		for _, s := range pending {
-			if s >= len(r.stripes) || conns[r.stripes[s].owner] == nil {
+			if s >= len(r.stripes) {
 				stale = append(stale, s)
 				continue
 			}
-			groups[r.stripes[s].owner] = append(groups[r.stripes[s].owner], s)
+			// Stripe geometry (lo/n) is immutable across migrations, so a
+			// forwarded push can still build its body from the stale route.
+			addr := r.stripes[s].owner
+			if fwd := forwards[s]; fwd != "" && conns[fwd] != nil {
+				addr = fwd
+			}
+			if conns[addr] == nil {
+				stale = append(stale, s)
+				continue
+			}
+			groups[addr] = append(groups[addr], s)
 		}
 		type result struct {
 			addr   string
-			failed []int
+			failed []movedRef
 			bytes  int64
 			err    error
 		}
@@ -636,29 +721,37 @@ func (c *Client) pushStripes(job string, reqLo int, delta []float64) error {
 				continue
 			}
 			movedBytes += res.bytes
-			pending = append(pending, res.failed...)
+			for _, mv := range res.failed {
+				setForward(forwards, mv)
+				pending = append(pending, mv.idx)
+			}
 		}
 		if callErr != nil {
 			return callErr
 		}
 	}
+	c.applyForwards(job, forwards)
 	metrics.Comm.ObservePush(movedBytes, time.Since(start))
 	return nil
 }
 
-func decodePushReply(reply []byte) ([]int, error) {
+func decodePushReply(reply []byte) ([]movedRef, error) {
 	nfail32, rest, err := rpc.ReadUint32(reply)
 	if err != nil {
 		return nil, err
 	}
-	var failed []int
+	var failed []movedRef
 	for i := 0; i < int(nfail32); i++ {
 		idx32, next, err := rpc.ReadUint32(rest)
 		if err != nil {
 			return nil, err
 		}
+		fwd, next, err := rpc.ReadString(next)
+		if err != nil {
+			return nil, err
+		}
 		rest = next
-		failed = append(failed, int(idx32))
+		failed = append(failed, movedRef{idx: int(idx32), fwd: fwd})
 	}
 	return failed, nil
 }

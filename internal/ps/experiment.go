@@ -159,8 +159,9 @@ func (e RebalanceExperiment) Run() (RebalanceResult, error) {
 				}
 				bal.Observe(cs)
 				plan := bal.Plan(addrs, PlanOptions{MaxMoves: e.MaxMoves})
-				done, _ := ExecuteMoves(conn, plan, e.Timeout)
-				moves += done
+				executed, _ := ExecuteMoves(conn, plan, e.Timeout)
+				bal.CommitMoves(executed)
+				moves += len(executed)
 			}
 		}()
 	}

@@ -24,11 +24,18 @@
 //	pull/snapshot request:
 //	  str job | u32 count | count × u32 idx
 //	pull/snapshot reply:
-//	  u32 count | count × (u32 idx | u8 status | [ok: u32 lo | floats vals])
+//	  u32 count | count × (u32 idx | u8 status |
+//	                       ok: u32 lo | floats vals | moved: str fwd)
 //	push request:
 //	  str job | u32 count | count × (u32 idx | u32 lo | floats delta)
 //	push reply:
-//	  u32 nfail | nfail × u32 idx
+//	  u32 nfail | nfail × (u32 idx | str fwd)
+//
+// "fwd" is the forwarding hint of a migrated-away stripe — the address
+// its handoff went to, empty when unknown (never owned here, replica
+// bounce). Clients retry a hinted stripe directly at the forward target
+// instead of re-scraping routes, so an op can chase a stripe through
+// back-to-back migrations without losing the race to the next move.
 //
 // init/restore replace a job's whole partition on the receiving server;
 // install (the migration/replication handoff) merges stripes into it.
@@ -236,9 +243,13 @@ type stripeBlock struct {
 	replicas []string // replica server addrs (primary only); guarded by mu
 	// moved tombstones a migrated-away stripe: ops that raced the fence
 	// and acquired the lock after handoff observe it and report
-	// stripeMoved instead of touching stale state. Guarded by mu.
-	moved bool
-	stats stripeStats
+	// stripeMoved instead of touching stale state. The tombstone stays in
+	// the partition map (values freed) as the forwarding entry: movedTo
+	// records where the handoff went, and replies carry it as a hint so
+	// clients chase the stripe directly. Both guarded by mu.
+	moved   bool
+	movedTo string
+	stats   stripeStats
 }
 
 // partition holds one job's stripe blocks on one server.
@@ -293,6 +304,7 @@ type Server struct {
 	replMu   sync.Mutex
 	dirty    map[replKey]bool
 	flushing int
+	retries  int // re-dirty timers pending after a failed replica send
 	started  bool
 	closed   bool
 	wake     chan struct{}
@@ -369,17 +381,21 @@ func (s *Server) lookup(job string) *partition {
 	return p
 }
 
-// lockStripe acquires the service gate and the stripe lock, charging the
-// combined wait to the stripe's counters and the server histogram.
+// lockStripe acquires the stripe lock and then the service gate,
+// charging the combined wait to the stripe's counters and the server
+// histogram. Stripe lock first, gate second: ops queued behind a fenced
+// (migrating) stripe then wait on that one stripe without holding
+// service-gate slots, so a slow handoff cannot exhaust the gate and
+// stall the server's other stripes.
 func (s *Server) lockStripe(st *stripeBlock, write bool) {
 	start := time.Now()
-	if s.gate != nil {
-		s.gate <- struct{}{}
-	}
 	if write {
 		st.mu.Lock()
 	} else {
 		st.mu.RLock()
+	}
+	if s.gate != nil {
+		s.gate <- struct{}{}
 	}
 	wait := time.Since(start)
 	st.stats.lockWait.Add(int64(wait))
@@ -391,14 +407,27 @@ func (s *Server) lockStripe(st *stripeBlock, write bool) {
 	}
 }
 
+// tombstone reports whether the stripe has migrated away, and where to.
+// It takes only the stripe lock — never a service-gate slot or the
+// modeled service delay — so bouncing off a forwarding tombstone costs
+// the source server essentially nothing: a migrated-away hot stripe
+// stops consuming the old owner's service capacity immediately. During
+// the fence the write lock is held, so the check inherently waits out
+// the handoff and then reports the fresh placement.
+func (st *stripeBlock) tombstone() (string, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.movedTo, st.moved
+}
+
 func (s *Server) unlockStripe(st *stripeBlock, write bool) {
+	if s.gate != nil {
+		<-s.gate
+	}
 	if write {
 		st.mu.Unlock()
 	} else {
 		st.mu.RUnlock()
-	}
-	if s.gate != nil {
-		<-s.gate
 	}
 }
 
@@ -547,6 +576,7 @@ func (s *Server) installStripe(p *partition, f stripeFrame) {
 	st.primary = incomingPrimary
 	st.replicas = f.replicas
 	st.moved = false
+	st.movedTo = ""
 	st.mu.Unlock()
 }
 
@@ -581,13 +611,22 @@ func (s *Server) handlePull(raw []byte) ([]byte, error) {
 		if st == nil {
 			reply = rpc.AppendUint32(reply, idx32)
 			reply = append(reply, stripeMoved)
+			reply = rpc.AppendString(reply, "")
+			continue
+		}
+		if fwd, moved := st.tombstone(); moved {
+			reply = rpc.AppendUint32(reply, idx32)
+			reply = append(reply, stripeMoved)
+			reply = rpc.AppendString(reply, fwd)
 			continue
 		}
 		s.lockStripe(st, false)
 		if st.moved {
+			fwd := st.movedTo
 			s.unlockStripe(st, false)
 			reply = rpc.AppendUint32(reply, idx32)
 			reply = append(reply, stripeMoved)
+			reply = rpc.AppendString(reply, fwd)
 			continue
 		}
 		reply = rpc.AppendUint32(reply, idx32)
@@ -616,7 +655,11 @@ func (s *Server) handlePush(raw []byte) ([]byte, error) {
 	}
 	count := int(count32)
 	p := s.lookup(job)
-	var failed []uint32
+	type bounce struct {
+		idx uint32
+		fwd string
+	}
+	var failed []bounce
 	for i := 0; i < count; i++ {
 		idx32, next, err := rpc.ReadUint32(rest)
 		if err != nil {
@@ -636,15 +679,21 @@ func (s *Server) handlePush(raw []byte) ([]byte, error) {
 			st = p.get(int(idx32))
 		}
 		if st == nil {
-			failed = append(failed, idx32)
+			failed = append(failed, bounce{idx32, ""})
+			continue
+		}
+		if fwd, moved := st.tombstone(); moved {
+			failed = append(failed, bounce{idx32, fwd})
 			continue
 		}
 		s.lockStripe(st, true)
 		if st.moved || !st.primary {
 			// Writes aggregate at the owner; a replica bounces the push so
-			// the client re-routes it there.
+			// the client re-routes it there. movedTo is empty on a replica
+			// bounce (a replica does not track its primary's address).
+			fwd := st.movedTo
 			s.unlockStripe(st, true)
-			failed = append(failed, idx32)
+			failed = append(failed, bounce{idx32, fwd})
 			continue
 		}
 		start := int(lo32) - st.lo
@@ -665,10 +714,11 @@ func (s *Server) handlePush(raw []byte) ([]byte, error) {
 			s.markDirty(job, int(idx32))
 		}
 	}
-	reply := rpc.GetBuffer(4 + 4*len(failed))[:0]
+	reply := rpc.GetBuffer(4 + 8*len(failed))[:0]
 	reply = rpc.AppendUint32(reply, uint32(len(failed)))
-	for _, idx := range failed {
-		reply = rpc.AppendUint32(reply, idx)
+	for _, b := range failed {
+		reply = rpc.AppendUint32(reply, b.idx)
+		reply = rpc.AppendString(reply, b.fwd)
 	}
 	return reply, nil
 }
@@ -720,6 +770,17 @@ func (s *Server) Jobs() int {
 
 // --- migration and replication ----------------------------------------
 
+// handoffTimeout bounds the install call made while a stripe is fenced
+// (migrate/replicate) and the replica propagation sends. A stripe is at
+// most a few hundred KiB, so seconds suffice; a slow destination must
+// fail the handoff — leaving the stripe intact on the source — rather
+// than extend the fence toward the RPC minute-scale control timeouts.
+const handoffTimeout = 5 * time.Second
+
+// replicaRetryDelay spaces retries of replica propagation toward an
+// unreachable replica, so a dead replica is not hammered in a hot loop.
+const replicaRetryDelay = 50 * time.Millisecond
+
 // conn returns a cached outbound connection to a peer server.
 func (s *Server) conn(addr string) (*rpc.Client, error) {
 	s.connMu.Lock()
@@ -750,6 +811,12 @@ func (s *Server) handleMigrate(a MigrateArgs) (Ack, error) {
 	if st == nil {
 		return Ack{}, fmt.Errorf("ps: migrate: job %q stripe %d not here", a.Job, a.Stripe)
 	}
+	// Dial the destination before fencing: an unreachable peer must fail
+	// the move without the stripe ever pausing service.
+	cl, err := s.conn(a.Dest)
+	if err != nil {
+		return Ack{}, fmt.Errorf("ps: migrate to %s: %w", a.Dest, err)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.moved {
@@ -767,26 +834,25 @@ func (s *Server) handleMigrate(a MigrateArgs) (Ack, error) {
 			replicas = append(replicas, r)
 		}
 	}
-	cl, err := s.conn(a.Dest)
-	if err != nil {
-		return Ack{}, fmt.Errorf("ps: migrate to %s: %w", a.Dest, err)
-	}
 	body := rpc.GetBuffer(2 + len(a.Job) + 4)[:0]
 	body = rpc.AppendString(body, a.Job)
 	body = rpc.AppendUint32(body, 1)
 	body = appendStripeFrame(body, st.idx, st.lo, 0, st.version, replicas, st.vals)
-	reply, err := cl.Call(MethodInstall, body, time.Minute)
+	reply, err := cl.Call(MethodInstall, body, handoffTimeout)
 	rpc.PutBuffer(body)
 	rpc.PutBuffer(reply)
 	if err != nil {
 		// Handoff failed: the stripe stays here, fully intact.
 		return Ack{}, fmt.Errorf("ps: migrate job %q stripe %d to %s: %w", a.Job, a.Stripe, a.Dest, err)
 	}
+	// Tombstone with a forwarding entry: the block stays in the map
+	// (values freed) so ops arriving after the handoff are pointed
+	// straight at the destination instead of groping through a routes
+	// re-scrape that the next migration can invalidate.
 	st.moved = true
+	st.movedTo = a.Dest
 	st.replicas = nil
-	p.mu.Lock()
-	delete(p.stripes, a.Stripe)
-	p.mu.Unlock()
+	st.vals = nil
 	return Ack{}, nil
 }
 
@@ -799,6 +865,12 @@ func (s *Server) handleReplicate(a ReplicateArgs) (Ack, error) {
 	if st == nil {
 		return Ack{}, fmt.Errorf("ps: replicate: job %q stripe %d not here", a.Job, a.Stripe)
 	}
+	// As with migrate: dial before fencing so an unreachable destination
+	// never pauses the stripe.
+	cl, err := s.conn(a.Dest)
+	if err != nil {
+		return Ack{}, fmt.Errorf("ps: replicate to %s: %w", a.Dest, err)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.moved || !st.primary {
@@ -809,15 +881,11 @@ func (s *Server) handleReplicate(a ReplicateArgs) (Ack, error) {
 			return Ack{}, nil // already attached
 		}
 	}
-	cl, err := s.conn(a.Dest)
-	if err != nil {
-		return Ack{}, fmt.Errorf("ps: replicate to %s: %w", a.Dest, err)
-	}
 	body := rpc.GetBuffer(2 + len(a.Job) + 4)[:0]
 	body = rpc.AppendString(body, a.Job)
 	body = rpc.AppendUint32(body, 1)
 	body = appendStripeFrame(body, st.idx, st.lo, flagReplica, st.version, nil, st.vals)
-	reply, err := cl.Call(MethodInstall, body, time.Minute)
+	reply, err := cl.Call(MethodInstall, body, handoffTimeout)
 	rpc.PutBuffer(body)
 	rpc.PutBuffer(reply)
 	if err != nil {
@@ -870,10 +938,10 @@ func (s *Server) handleDropStripe(a DropStripeArgs) (Ack, error) {
 	}
 	st.mu.Lock()
 	st.moved = true
+	st.movedTo = "" // replica teardown: the primary's address is not known here
+	st.replicas = nil
+	st.vals = nil
 	st.mu.Unlock()
-	p.mu.Lock()
-	delete(p.stripes, a.Stripe)
-	p.mu.Unlock()
 	return Ack{}, nil
 }
 
@@ -933,8 +1001,11 @@ func (s *Server) propagate() {
 	}
 }
 
-// flushStripe ships one stripe's state to its replicas, best effort: an
-// unreachable replica drops this round and catches up on the next push.
+// flushStripe ships one stripe's state to its replicas. A replica that
+// cannot be reached re-queues the stripe after a short delay: the last
+// push before traffic quiesces must still converge every replica, so a
+// missed send retries until it lands or the replica is detached, rather
+// than waiting for the next push to re-mark the stripe dirty.
 func (s *Server) flushStripe(job string, idx int) {
 	p := s.lookup(job)
 	if p == nil {
@@ -955,17 +1026,42 @@ func (s *Server) flushStripe(job string, idx int) {
 	body = rpc.AppendUint32(body, 1)
 	body = appendStripeFrame(body, st.idx, st.lo, flagReplica, st.version, nil, st.vals)
 	st.mu.RUnlock()
+	failed := false
 	for _, addr := range replicas {
 		cl, err := s.conn(addr)
 		if err != nil {
+			failed = true
 			continue
 		}
-		reply, err := cl.Call(MethodInstall, body, time.Minute)
-		if err == nil {
-			rpc.PutBuffer(reply)
+		reply, err := cl.Call(MethodInstall, body, handoffTimeout)
+		if err != nil {
+			failed = true
+			continue
 		}
+		rpc.PutBuffer(reply)
 	}
 	rpc.PutBuffer(body)
+	if failed {
+		s.redirty(job, idx)
+	}
+}
+
+// redirty schedules a delayed re-mark of a stripe whose propagation
+// failed. The pending timer counts against FlushReplication so "drained"
+// still means every replica converged (or the server closed).
+func (s *Server) redirty(job string, idx int) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.retries++
+	time.AfterFunc(replicaRetryDelay, func() {
+		s.replMu.Lock()
+		s.retries--
+		s.replMu.Unlock()
+		s.markDirty(job, idx)
+	})
 }
 
 // FlushReplication blocks until every queued replica propagation has
@@ -974,7 +1070,7 @@ func (s *Server) FlushReplication(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		s.replMu.Lock()
-		idle := len(s.dirty) == 0 && s.flushing == 0
+		idle := len(s.dirty) == 0 && s.flushing == 0 && s.retries == 0
 		s.replMu.Unlock()
 		if idle {
 			return nil
@@ -1006,6 +1102,12 @@ func (s *Server) Stats() StatsReply {
 		js := JobStats{Job: name}
 		for _, st := range blocks {
 			st.mu.RLock()
+			if st.moved {
+				// A forwarding tombstone: the live block (and its restarted
+				// counters) is on the destination server.
+				st.mu.RUnlock()
+				continue
+			}
 			stat := StripeStat{
 				Index: st.idx, Lo: st.lo, Len: len(st.vals),
 				Primary: st.primary, Replicas: len(st.replicas),

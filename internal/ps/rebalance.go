@@ -232,12 +232,41 @@ func (b *Balancer) serverLoads(servers []string) map[string]float64 {
 	return loads
 }
 
-// Plan proposes up to MaxMoves stripe relocations that shrink the load
-// gap between the hottest and coldest servers. servers is the candidate
-// placement set (typically every PS server the master knows); a server
-// not present in past scrapes counts as idle and is a natural target.
+// Plan proposes stripe relocations with every observed job allowed on
+// every server — the single-tenant convenience form for benches and
+// tests. Production callers use PlanJobs: a job's PS clients route only
+// within that job's own server set, so each stripe must stay inside it.
 func (b *Balancer) Plan(servers []string, opts PlanOptions) []Move {
+	domains := make(map[string][]string)
+	for key := range b.state {
+		domains[key.Job] = servers
+	}
+	return b.PlanJobs(domains, opts)
+}
+
+// PlanJobs proposes up to MaxMoves stripe relocations that shrink the
+// load gap between the hottest and coldest servers. domains maps each
+// job to the servers its stripes may be placed on (the job's current
+// server set); a stripe never leaves its job's domain — a placement
+// outside it would be unreachable to the job's clients, which refresh
+// routes only against their own servers. Loads and the imbalance check
+// span the union of all domains, since co-located jobs share servers. A
+// domain server not present in past scrapes counts as idle and is a
+// natural target. Jobs absent from domains (unknown, mid-resize) are
+// never moved.
+func (b *Balancer) PlanJobs(domains map[string][]string, opts PlanOptions) []Move {
 	opts = opts.withDefaults()
+	inUnion := make(map[string]bool)
+	var servers []string
+	for _, ds := range domains {
+		for _, s := range ds {
+			if !inUnion[s] {
+				inUnion[s] = true
+				servers = append(servers, s)
+			}
+		}
+	}
+	sort.Strings(servers)
 	if len(servers) < 2 {
 		return nil
 	}
@@ -280,18 +309,15 @@ func (b *Balancer) Plan(servers []string, opts PlanOptions) []Move {
 		}
 	}
 	for len(moves) < opts.MaxMoves {
-		var hi, lo string
+		var hi string
 		first := true
 		for _, s := range servers {
 			if first {
-				hi, lo, first = s, s, false
+				hi, first = s, false
 				continue
 			}
 			if loads[s] > loads[hi] {
 				hi = s
-			}
-			if loads[s] < loads[lo] {
-				lo = s
 			}
 		}
 		var mean float64
@@ -302,18 +328,23 @@ func (b *Balancer) Plan(servers []string, opts PlanOptions) []Move {
 		if loads[hi] < opts.MinScore || loads[hi] <= mean*(1+opts.Tolerance) {
 			break
 		}
-		gap := loads[hi] - loads[lo]
 		// Pick the hottest stripe on hi whose score fits strictly inside
-		// the gap: moving it must shrink the spread, not just swap which
-		// server is overloaded (score >= gap would oscillate).
+		// the gap to the coldest server of its own job's domain: moving it
+		// must shrink the spread, not just swap which server is overloaded
+		// (score >= gap would oscillate).
 		var bestKey stripeKey
 		var best *stripeState
+		var bestDest string
 		for key, st := range b.state {
-			if st.server != hi || moved[key] || cooling(key) || st.score < opts.MinScore || st.score >= gap {
+			if st.server != hi || moved[key] || cooling(key) || st.score < opts.MinScore {
+				continue
+			}
+			dest, ok := coldestIn(domains[key.Job], hi, loads)
+			if !ok || st.score >= loads[hi]-loads[dest] {
 				continue
 			}
 			if best == nil || st.score > best.score {
-				bestKey, best = key, st
+				bestKey, best, bestDest = key, st, dest
 			}
 		}
 		replicate := false
@@ -329,8 +360,12 @@ func (b *Balancer) Plan(servers []string, opts PlanOptions) []Move {
 				if st.pullFrac < hotFrac || st.replicas > 0 {
 					continue
 				}
+				dest, ok := coldestIn(domains[key.Job], hi, loads)
+				if !ok {
+					continue
+				}
 				if best == nil || st.score > best.score {
-					bestKey, best = key, st
+					bestKey, best, bestDest = key, st, dest
 				}
 			}
 			replicate = best != nil
@@ -340,20 +375,18 @@ func (b *Balancer) Plan(servers []string, opts PlanOptions) []Move {
 		}
 		moves = append(moves, Move{
 			Job: bestKey.Job, Stripe: bestKey.Stripe,
-			From: hi, To: lo, Replicate: replicate,
+			From: hi, To: bestDest, Replicate: replicate,
 		})
 		moved[bestKey] = true
-		b.movedAt[bestKey] = b.round
 		if replicate {
 			// Reads split across copies; model as halving the load and
 			// charging the other half to the replica host.
 			half := best.score / 2
 			loads[hi] -= half
-			loads[lo] += half
+			loads[bestDest] += half
 		} else {
 			loads[hi] -= best.score
-			loads[lo] += best.score
-			best.server = lo
+			loads[bestDest] += best.score
 		}
 	}
 	sort.Slice(moves, func(i, j int) bool {
@@ -365,21 +398,55 @@ func (b *Balancer) Plan(servers []string, opts PlanOptions) []Move {
 	return moves
 }
 
+// coldestIn picks the least-loaded server of domain other than hi.
+func coldestIn(domain []string, hi string, loads map[string]float64) (string, bool) {
+	var lo string
+	found := false
+	for _, s := range domain {
+		if s == hi {
+			continue
+		}
+		if !found || loads[s] < loads[lo] {
+			lo, found = s, true
+		}
+	}
+	return lo, found
+}
+
+// CommitMoves folds executed moves back into the balancer's model:
+// cooldown stamps and primary placement change only once a handoff
+// actually succeeded, so a move that failed to execute stays eligible
+// on the next round instead of sitting out CooldownRounds on a phantom
+// placement.
+func (b *Balancer) CommitMoves(moves []Move) {
+	for _, m := range moves {
+		key := stripeKey{Job: m.Job, Stripe: m.Stripe}
+		b.movedAt[key] = b.round
+		if st := b.state[key]; st != nil {
+			if m.Replicate {
+				st.replicas++
+			} else {
+				st.server = m.To
+			}
+		}
+	}
+}
+
 // ConnFunc supplies a connection to a PS server by address. The caller
 // owns connection lifetime (the master reuses worker connections; the
 // bench keeps a dial cache).
 type ConnFunc func(addr string) (*rpc.Client, error)
 
 // ExecuteMoves applies planned moves via the fence-and-handoff RPCs,
-// returning how many succeeded. Execution is best-effort and sequential:
-// a failed move leaves its stripe on the source, fully intact, and later
-// moves still run.
-func ExecuteMoves(conn ConnFunc, moves []Move, timeout time.Duration) (int, error) {
+// returning the subset that succeeded (feed it to Balancer.CommitMoves).
+// Execution is best-effort and sequential: a failed move leaves its
+// stripe on the source, fully intact, and later moves still run.
+func ExecuteMoves(conn ConnFunc, moves []Move, timeout time.Duration) ([]Move, error) {
 	if timeout <= 0 {
 		timeout = time.Minute
 	}
 	var firstErr error
-	done := 0
+	var executed []Move
 	for _, m := range moves {
 		cl, err := conn(m.From)
 		if err == nil {
@@ -397,9 +464,9 @@ func ExecuteMoves(conn ConnFunc, moves []Move, timeout time.Duration) (int, erro
 			}
 			continue
 		}
-		done++
+		executed = append(executed, m)
 	}
-	return done, firstErr
+	return executed, firstErr
 }
 
 // DrainServer migrates every primary stripe of job off src, spreading

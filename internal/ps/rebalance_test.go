@@ -153,6 +153,102 @@ func TestBalancerPersistenceGate(t *testing.T) {
 	}
 }
 
+// TestBalancerRespectsJobDomains: a job's PS clients route only within
+// the job's own server set, so PlanJobs must never place a stripe
+// outside its job's domain — even when a server outside it is the
+// globally coldest target.
+func TestBalancerRespectsJobDomains(t *testing.T) {
+	b := NewBalancer(0.5)
+	b.Observe(ClusterStats{Servers: []ServerStats{
+		{Name: "a", Addr: "a", StatsReply: StatsReply{Jobs: []JobStats{
+			{Job: "j1", Stripes: []StripeStat{
+				{Index: 0, Lo: 0, Len: 4, Primary: true, PullOps: 50000, PushOps: 50000},
+				{Index: 1, Lo: 4, Len: 4, Primary: true, PullOps: 20000, PushOps: 20000},
+			}},
+			{Job: "j2", Stripes: []StripeStat{
+				{Index: 0, Lo: 0, Len: 4, Primary: true, PullOps: 10, PushOps: 10},
+			}},
+		}}},
+		{Name: "b", Addr: "b", StatsReply: StatsReply{Jobs: []JobStats{
+			{Job: "j1", Stripes: []StripeStat{
+				{Index: 2, Lo: 8, Len: 4, Primary: true, PullOps: 10, PushOps: 10},
+			}},
+		}}},
+		{Name: "c", Addr: "c"},
+	}})
+	// Server c is idle (globally coldest) but only in j2's domain: j1's
+	// hot stripes must go to b, never c.
+	domains := map[string][]string{"j1": {"a", "b"}, "j2": {"a", "c"}}
+	moves := b.PlanJobs(domains, PlanOptions{MaxMoves: 2, MinStreak: 1})
+	if len(moves) == 0 {
+		t.Fatal("no moves planned for a hot server with in-domain targets")
+	}
+	for _, m := range moves {
+		inDomain := false
+		for _, s := range domains[m.Job] {
+			if s == m.To {
+				inDomain = true
+			}
+		}
+		if !inDomain {
+			t.Fatalf("move %v leaves %s's domain %v", m, m.Job, domains[m.Job])
+		}
+	}
+	// A job with no domain (mid-resize, unknown) must never move.
+	b2 := NewBalancer(0.5)
+	b2.Observe(statsFor(map[string][]StripeStat{
+		"a": {
+			{Index: 0, Lo: 0, Len: 4, Primary: true, PullOps: 50000, PushOps: 50000},
+			{Index: 1, Lo: 4, Len: 4, Primary: true, PullOps: 20000, PushOps: 20000},
+		},
+		"b": {{Index: 2, Lo: 8, Len: 4, Primary: true, PullOps: 10, PushOps: 10}},
+	}))
+	if moves := b2.PlanJobs(map[string][]string{"other": {"a", "b"}},
+		PlanOptions{MaxMoves: 2, MinStreak: 1}); len(moves) != 0 {
+		t.Fatalf("planned %v for a job with no placement domain", moves)
+	}
+}
+
+// TestBalancerCommitMoves: cooldown and the balancer's placement model
+// update only when a move is committed (executed), so a move whose
+// handoff failed stays eligible the next round instead of sitting out
+// CooldownRounds while the hotspot persists.
+func TestBalancerCommitMoves(t *testing.T) {
+	b := NewBalancer(1)
+	servers := []string{"a", "b"}
+	hot := func(total int64) ClusterStats {
+		return statsFor(map[string][]StripeStat{
+			"a": {
+				{Index: 0, Lo: 0, Len: 4, Primary: true, PullOps: total},
+				{Index: 1, Lo: 4, Len: 4, Primary: true, PullOps: total / 2},
+			},
+			"b": {{Index: 2, Lo: 8, Len: 4, Primary: true, PullOps: 10}},
+		})
+	}
+	opts := PlanOptions{MaxMoves: 1, MinStreak: 1}
+	b.Observe(hot(30000))
+	first := b.Plan(servers, opts)
+	if len(first) != 1 || first[0].Stripe != 0 {
+		t.Fatalf("round 1 planned %v, want the hottest stripe 0", first)
+	}
+	// The move failed to execute: no commit. The next round must re-plan
+	// the same stripe, not cool it down on a phantom placement.
+	b.Observe(hot(60000))
+	second := b.Plan(servers, opts)
+	if len(second) != 1 || second[0].Stripe != 0 {
+		t.Fatalf("round 2 planned %v after a failed move, want stripe 0 again", second)
+	}
+	// This time it executed: committed, so the stripe cools down and the
+	// next round falls back to the next-hottest candidate.
+	b.CommitMoves(second)
+	b.Observe(hot(90000))
+	for _, m := range b.Plan(servers, opts) {
+		if m.Stripe == 0 {
+			t.Fatalf("stripe 0 re-planned while cooling after commit: %v", m)
+		}
+	}
+}
+
 // TestBalancerForgetsDroppedJobs: stripes absent from several scrapes
 // drop out of the state so a completed job stops influencing plans.
 func TestBalancerForgetsDroppedJobs(t *testing.T) {
