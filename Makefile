@@ -5,10 +5,10 @@ GO ?= go
 VERSION ?= dev
 LDFLAGS := -ldflags "-X harmony/internal/obs.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance trace-demo
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair trace-demo
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -51,6 +51,13 @@ comp-smoke:
 ps-rebalance-smoke:
 	$(GO) test -race -run 'TestMigrat|TestPSRebalanceSmoke' ./internal/ps/
 
+## fair-smoke: race-enabled pass over the fair scheduler — queue policy
+## unit tests, the deterministic fair-vs-FIFO simulation, and the
+## concurrent enqueue/cancel/preempt churn property test
+fair-smoke:
+	$(GO) test -race ./internal/fair/
+	$(GO) test -race -run 'TestFair' ./internal/master/ ./internal/ctl/
+
 ## obs-smoke: race-enabled pass over the tracing subsystem (span ring,
 ## histograms, traced 2-job live cluster with a worker killed mid-run)
 obs-smoke:
@@ -87,6 +94,12 @@ bench-comp:
 bench-rebalance:
 	$(GO) test ./internal/ps/ -run XXX -bench 'BenchmarkPSRebalance' -benchtime 2x
 	$(GO) run ./cmd/harmony-bench -bench-rebalance
+
+## bench-fair: fair-scheduler report — two-tenant contention
+## (time-to-fair-share, preemption-to-resume latency) under the fair
+## policy vs the FIFO baseline (BENCH_fair.json)
+bench-fair:
+	$(GO) run ./cmd/harmony-bench -bench-fair
 
 ## trace-demo: run a traced 2-worker, 2-job live cluster and write
 ## trace.json (open at https://ui.perfetto.dev)

@@ -8,6 +8,7 @@
 //	harmony-bench -bench-comm              # data-plane report + BENCH_commpath.json
 //	harmony-bench -bench-comp              # compute-path report + BENCH_comppath.json
 //	harmony-bench -bench-rebalance         # PS hot-stripe rebalance A/B + BENCH_psrebalance.json
+//	harmony-bench -bench-fair              # two-tenant fair-vs-FIFO A/B + BENCH_fair.json
 //	harmony-bench -list
 package main
 
@@ -106,6 +107,8 @@ func run(args []string) error {
 	benchCompOut := fs.String("bench-comp-out", "BENCH_comppath.json", "output path for -bench-comp results")
 	benchRebalance := fs.Bool("bench-rebalance", false, "measure skewed-access PS throughput with hot-stripe rebalancing off vs on, write BENCH_psrebalance.json, and exit")
 	benchRebalanceOut := fs.String("bench-rebalance-out", "BENCH_psrebalance.json", "output path for -bench-rebalance results")
+	benchFair := fs.Bool("bench-fair", false, "measure two-tenant contention under the fair scheduler vs the FIFO baseline, write BENCH_fair.json, and exit")
+	benchFairOut := fs.String("bench-fair-out", "BENCH_fair.json", "output path for -bench-fair results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +124,9 @@ func run(args []string) error {
 	}
 	if *benchRebalance {
 		return runBenchRebalance(*benchRebalanceOut)
+	}
+	if *benchFair {
+		return runBenchFair(*benchFairOut)
 	}
 	exps := experiments()
 	if *list {

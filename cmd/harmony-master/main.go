@@ -35,6 +35,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 2, "number of workers to wait for")
 	wait := fs.Duration("wait", 5*time.Minute, "how long to wait for workers")
 	drain := fs.Duration("drain", 30*time.Second, "per-job checkpoint budget during shutdown")
+	queues := fs.String("queues", "", `fair-scheduler queues, e.g. "tenantA:quota=0.7;tenantB:quota=0.3" (empty = single default queue)`)
 	demo := fs.Bool("demo", false, "submit a demo workload once workers join")
 	iterations := fs.Int("iterations", 20, "demo job iterations")
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +47,18 @@ func run(args []string) error {
 		return err
 	}
 	defer m.Close()
+	if *queues != "" {
+		cfgs, err := harmony.ParseQueues(*queues)
+		if err != nil {
+			return fmt.Errorf("-queues: %w", err)
+		}
+		if err := m.ConfigureQueues(cfgs...); err != nil {
+			return fmt.Errorf("-queues: %w", err)
+		}
+		for _, q := range m.Queues() {
+			fmt.Printf("queue %s: share %.0f%%\n", q.Name, q.Share*100)
+		}
+	}
 	if *traceOn {
 		m.EnableTracing()
 	}

@@ -11,6 +11,7 @@
 //	status   show one job
 //	cancel   cancel a pending or running job
 //	cluster  show workers, groups and the admission queue
+//	queues   show fair-scheduler queues: shares, quotas, usage, depth
 //	events   show the scheduler decision journal (predicted vs measured T_itr/U)
 //	trace    fetch the Chrome trace-event JSON (-o trace.json; load in Perfetto)
 //	ps-stats show per-stripe parameter-server load (what the rebalancer sees)
@@ -40,7 +41,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|events|trace|ps-stats} [flags]")
+	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|queues|events|trace|ps-stats} [flags]")
 }
 
 func run(args []string) error {
@@ -73,6 +74,8 @@ func run(args []string) error {
 		return cmdCancel(c, rest[0])
 	case "cluster":
 		return cmdCluster(c)
+	case "queues":
+		return cmdQueues(c)
 	case "events":
 		return cmdEvents(c)
 	case "trace":
@@ -152,6 +155,10 @@ func cmdSubmit(c *client, args []string) error {
 	iters := fs.Int("iterations", 20, "iterations until convergence")
 	alpha := fs.Float64("alpha", 0, "initial disk-spill ratio in [0, 1]")
 	seed := fs.Int64("seed", 1, "data-generation seed")
+	queue := fs.String("queue", "", "fair-scheduler queue (empty = default)")
+	priority := fs.Int("priority", 0, "priority within the queue (higher first)")
+	minWorkers := fs.Int("min-workers", 0, "gang size: the full set places atomically or the job holds")
+	maxWorkers := fs.Int("max-workers", 0, "placement size cap (0 = no cap)")
 	workersCSV := fs.String("workers", "", "comma-separated worker names to pin the job (bypasses admission)")
 	comp := fs.Float64("comp", 0, "profile hint: COMP machine-seconds per iteration")
 	netSec := fs.Float64("net", 0, "profile hint: COMM seconds per iteration")
@@ -169,6 +176,8 @@ func cmdSubmit(c *client, args []string) error {
 		Features: *features, Classes: *classes, Rows: *rows,
 		LearningRate: *lr, Lambda: *lambda,
 		Iterations: *iters, Alpha: *alpha, Seed: *seed,
+		Queue: *queue, Priority: *priority,
+		MinWorkers: *minWorkers, MaxWorkers: *maxWorkers,
 	}
 	if *workersCSV != "" {
 		req.Workers = strings.Split(*workersCSV, ",")
@@ -188,6 +197,28 @@ func cmdSubmit(c *client, args []string) error {
 		fmt.Printf("%s admitted, running on %s\n", resp.Name, strings.Join(resp.Workers, ","))
 	default:
 		fmt.Printf("%s held pending in the admission queue\n", resp.Name)
+	}
+	return nil
+}
+
+// cmdQueues renders the fair-scheduler surface: each queue's resolved
+// share, quota and usage in workers, held depth, and cumulative
+// admission/preemption counters.
+func cmdQueues(c *client) error {
+	var resp ctl.QueuesResponse
+	if err := c.do(http.MethodGet, "/v1/queues", nil, &resp); err != nil {
+		return err
+	}
+	if len(resp.Queues) == 0 {
+		fmt.Println("no queues")
+		return nil
+	}
+	fmt.Printf("%-16s %-12s %6s %6s %6s %6s %6s %6s %9s %10s\n",
+		"QUEUE", "PARENT", "SHARE", "QUOTA", "USAGE", "RUN", "DEPTH", "ADMIT", "PREEMPTED", "CANCELED")
+	for _, q := range resp.Queues {
+		fmt.Printf("%-16s %-12s %5.1f%% %6d %6d %6d %6d %6d %9d %10d\n",
+			q.Name, q.Parent, q.Share*100, q.QuotaWorkers, q.UsageWorkers,
+			q.Running, q.Depth, q.Admitted, q.Preempted, q.Canceled)
 	}
 	return nil
 }
@@ -217,12 +248,40 @@ func cmdStatus(c *client, name string) error {
 	}
 	fmt.Printf("name:        %s\n", j.Name)
 	fmt.Printf("state:       %s\n", j.State)
+	if j.Queue != "" {
+		fmt.Printf("queue:       %s (priority %d)\n", j.Queue, j.Priority)
+	}
+	if j.State == "pending" {
+		// A held job is distinguishable from a stuck one: why it waits
+		// and where it stands in the fair admission order.
+		fmt.Printf("hold:        %s (position %d in queue)\n", holdText(j.HoldReason), j.QueuePosition)
+		if j.Resumable {
+			fmt.Printf("resumable:   from checkpoint iteration %d\n", j.ResumeIteration-1)
+		}
+	}
 	fmt.Printf("iteration:   %d\n", j.Iteration)
 	fmt.Printf("loss:        %.6f\n", j.Loss)
 	fmt.Printf("workers:     %s\n", strings.Join(j.Workers, ","))
 	fmt.Printf("profiled:    %v (comp %.3fs, net %.3fs)\n", j.Profiled, j.CompSeconds, j.NetSeconds)
 	fmt.Printf("checkpoint:  iteration %d\n", j.CheckpointIteration)
 	return nil
+}
+
+// holdText expands a hold-reason code into an operator-readable phrase.
+func holdText(reason string) string {
+	switch reason {
+	case "slowdown_bound":
+		return "slowdown_bound (no placement improves the Eq. 1 scheduling score)"
+	case "no_gang_capacity":
+		return "no_gang_capacity (no feasible worker set of the gang size)"
+	case "quota_exhausted":
+		return "quota_exhausted (queue at quota while an under-quota queue waits)"
+	case "preempted":
+		return "preempted (reclaimed; resumes from its checkpoint)"
+	case "":
+		return "unknown"
+	}
+	return reason
 }
 
 func cmdCancel(c *client, name string) error {

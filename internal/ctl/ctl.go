@@ -11,6 +11,7 @@
 //	GET    /v1/jobs/{name}   one job's status
 //	DELETE /v1/jobs/{name}   cancel a pending or running job
 //	GET    /v1/cluster       workers, groups, queue
+//	GET    /v1/queues        fair-scheduler queues: shares, usage, depth
 //	GET    /v1/events        scheduler decision journal
 //	GET    /v1/trace         Chrome trace-event JSON of collected spans
 //	GET    /v1/ps            per-stripe parameter-server statistics
@@ -46,6 +47,7 @@ type Backend interface {
 	Cancel(name string) error
 	Cluster() master.ClusterView
 	Counters() master.Counters
+	Queues() []master.QueueView
 	WorkerStats() (cpu, net float64, err error)
 	CommStats() metrics.CommSnapshot
 	CompStats() metrics.CompSnapshot
@@ -67,6 +69,7 @@ var routes = []string{
 	"GET /v1/jobs/{name}",
 	"DELETE /v1/jobs/{name}",
 	"GET /v1/cluster",
+	"GET /v1/queues",
 	"GET /v1/events",
 	"GET /v1/trace",
 	"GET /v1/ps",
@@ -99,6 +102,7 @@ func New(b Backend) *Server {
 	s.handle("GET /v1/jobs/{name}", s.handleGetJob)
 	s.handle("DELETE /v1/jobs/{name}", s.handleCancelJob)
 	s.handle("GET /v1/cluster", s.handleCluster)
+	s.handle("GET /v1/queues", s.handleQueues)
 	s.handle("GET /v1/events", s.handleEvents)
 	s.handle("GET /v1/trace", s.handleTrace)
 	s.handle("GET /v1/ps", s.handlePSStats)
@@ -177,6 +181,14 @@ type SubmitRequest struct {
 	// Workers pins the job to an explicit worker group, bypassing the
 	// admission queue.
 	Workers []string `json:"workers,omitempty"`
+	// Queue and Priority are the fair-scheduler coordinates (DESIGN.md
+	// §13); an empty queue means "default".
+	Queue    string `json:"queue,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	// MinWorkers is the gang size (the full set places atomically or the
+	// job holds); MaxWorkers caps the placement (0 = no cap).
+	MinWorkers int `json:"min_workers,omitempty"`
+	MaxWorkers int `json:"max_workers,omitempty"`
 	// Profile carries cost estimates for the §IV-B4 arrival rule; without
 	// it the job can only start on an idle cluster.
 	Profile *ProfileHints `json:"profile,omitempty"`
@@ -210,6 +222,25 @@ type JobResponse struct {
 	NetSeconds          float64  `json:"net_seconds"`
 	Profiled            bool     `json:"profiled"`
 	CheckpointIteration int      `json:"checkpoint_iteration"`
+	Queue               string   `json:"queue,omitempty"`
+	Priority            int      `json:"priority,omitempty"`
+	// HoldReason and QueuePosition distinguish a held job from a stuck
+	// one: why it waits (slowdown_bound, no_gang_capacity,
+	// quota_exhausted, preempted) and its slot in the fair order.
+	HoldReason    string `json:"hold_reason,omitempty"`
+	QueuePosition int    `json:"queue_position,omitempty"`
+	// Resumable marks a preempted job that will restore a checkpoint and
+	// continue from ResumeIteration on re-admission.
+	Resumable       bool `json:"resumable,omitempty"`
+	ResumeIteration int  `json:"resume_iteration,omitempty"`
+}
+
+// QueueResponse is one queue's configuration, share, and live usage.
+type QueueResponse = master.QueueView
+
+// QueuesResponse is the GET /v1/queues body.
+type QueuesResponse struct {
+	Queues []QueueResponse `json:"queues"`
 }
 
 // JobListResponse is the GET /v1/jobs body.
@@ -305,6 +336,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Iterations: req.Iterations,
 		Alpha:      req.Alpha,
 		Seed:       req.Seed,
+		Queue:      req.Queue,
+		Priority:   req.Priority,
+		MinWorkers: req.MinWorkers,
+		MaxWorkers: req.MaxWorkers,
+	}
+	if req.MinWorkers < 0 || req.MaxWorkers < 0 ||
+		(req.MaxWorkers > 0 && req.MinWorkers > req.MaxWorkers) {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"min_workers/max_workers must be non-negative with min <= max")
+		return
 	}
 	if len(req.Workers) > 0 {
 		// An explicit group is an operator override: deploy directly.
@@ -389,7 +430,23 @@ func toJobResponse(v master.JobView) JobResponse {
 		NetSeconds:          v.NetSeconds,
 		Profiled:            v.Profiled,
 		CheckpointIteration: v.CheckpointIter,
+		Queue:               v.Queue,
+		Priority:            v.Priority,
+		HoldReason:          v.HoldReason,
+		QueuePosition:       v.QueuePosition,
+		Resumable:           v.Resumable,
+		ResumeIteration:     v.ResumeIter,
 	}
+}
+
+// handleQueues serves the per-queue fair-scheduler surface: resolved
+// shares, quota/usage in workers, queue depth, and cumulative counters.
+func (s *Server) handleQueues(w http.ResponseWriter, r *http.Request) {
+	qs := s.b.Queues()
+	if qs == nil {
+		qs = []QueueResponse{}
+	}
+	writeJSON(w, http.StatusOK, QueuesResponse{Queues: qs})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -407,7 +464,7 @@ func writeBackendError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, master.ErrUnknownJob):
 		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
-	case errors.Is(err, master.ErrUnknownWorker):
+	case errors.Is(err, master.ErrUnknownWorker), errors.Is(err, master.ErrUnknownQueue):
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 	case errors.Is(err, master.ErrDuplicateJob), errors.Is(err, master.ErrJobFinished):
 		writeError(w, http.StatusConflict, CodeConflict, err.Error())

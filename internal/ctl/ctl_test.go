@@ -26,6 +26,7 @@ type fakeBackend struct {
 	comm       metrics.CommSnapshot
 	comp       metrics.CompSnapshot
 	statsErr   error
+	queues     []master.QueueView
 	events     []master.Event
 	psStats    ps.ClusterStats
 	psErr      error
@@ -73,6 +74,7 @@ func (f *fakeBackend) Cancel(name string) error {
 
 func (f *fakeBackend) Cluster() master.ClusterView { return f.cluster }
 func (f *fakeBackend) Counters() master.Counters   { return f.counters }
+func (f *fakeBackend) Queues() []master.QueueView  { return f.queues }
 
 func (f *fakeBackend) WorkerStats() (float64, float64, error) {
 	return 0.75, 0.5, f.statsErr
@@ -325,9 +327,13 @@ func TestMetricsExposition(t *testing.T) {
 		},
 		counters: master.Counters{
 			AdmittedInitial: 1, AdmittedArrival: 2, HeldPending: 3,
-			QueueDrained: 1, Canceled: 1, Migrations: 4, Recoveries: 5,
-			CheckpointFailures: 6,
+			QueueDrained: 1, Canceled: 1, Preempted: 2, Migrations: 4,
+			Recoveries: 5, CheckpointFailures: 6,
 		},
+		queues: []master.QueueView{{
+			Name: "default", Share: 1, QuotaWorkers: 2, UsageWorkers: 1,
+			Running: 2, Depth: 1, Admitted: 3, Held: 3, Preempted: 2,
+		}},
 		comm: metrics.CommSnapshot{
 			Pulls: 10, Pushes: 9, PullBytes: 4096, PushBytes: 2048,
 			PullSeconds: 1.5, PushSeconds: 0.5,
@@ -351,7 +357,12 @@ func TestMetricsExposition(t *testing.T) {
 		`harmony_jobs{state="running"} 2`,
 		`harmony_jobs{state="pending"} 1`,
 		`harmony_jobs{state="finished"} 0`,
-		`harmony_queue_depth 1`,
+		`harmony_queue_depth{queue="default"} 1`,
+		`harmony_queue_share{queue="default"} 1`,
+		`harmony_queue_usage_workers{queue="default"} 1`,
+		`harmony_queue_admitted_total{queue="default"} 3`,
+		`harmony_queue_preempted_total{queue="default"} 2`,
+		`harmony_preemptions_total 2`,
 		`harmony_workers 2`,
 		`harmony_groups 1`,
 		`harmony_admissions_total{path="initial"} 1`,

@@ -196,7 +196,7 @@ func TestOnlineArrivalOverHTTP(t *testing.T) {
 
 	m := fetchMetrics(t, base)
 	for _, want := range []string{
-		`harmony_queue_depth 0`,
+		`harmony_queue_depth{queue="default"} 0`,
 		`harmony_queue_drained_total 1`,
 		`harmony_admissions_held_total 2`,
 		`harmony_jobs_canceled_total 2`,

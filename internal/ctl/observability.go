@@ -96,9 +96,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	samples = append(samples,
-		metrics.Sample{Name: "harmony_queue_depth",
-			Help: "Jobs held pending in the admission queue.",
-			Type: metrics.PromGauge, Value: float64(len(cv.Pending))},
 		metrics.Sample{Name: "harmony_workers",
 			Help: "Registered live workers.",
 			Type: metrics.PromGauge, Value: float64(len(cv.Workers))},
@@ -125,10 +122,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.Sample{Name: "harmony_recoveries_total",
 			Help: "Failure-triggered job restarts from background checkpoints.",
 			Type: metrics.PromCounter, Value: float64(c.Recoveries)},
+		metrics.Sample{Name: "harmony_preemptions_total",
+			Help: "Running jobs the fair scheduler reclaimed and requeued as resumable held jobs.",
+			Type: metrics.PromCounter, Value: float64(c.Preempted)},
 		metrics.Sample{Name: "harmony_checkpoint_failures_total",
 			Help: "Background model snapshots that failed and were dropped.",
 			Type: metrics.PromCounter, Value: float64(c.CheckpointFailures)},
 	)
+	// Per-queue fair-scheduler families (DESIGN.md §13). A single-tenant
+	// deployment reports everything under queue="default", which is the
+	// compatibility view of the pre-fair aggregate gauges.
+	for _, q := range s.b.Queues() {
+		l := `{queue="` + q.Name + `"}`
+		samples = append(samples,
+			metrics.Sample{Name: "harmony_queue_depth" + l,
+				Help: "Jobs held pending in the admission queue, by queue.",
+				Type: metrics.PromGauge, Value: float64(q.Depth)},
+			metrics.Sample{Name: "harmony_queue_share" + l,
+				Help: "Resolved fraction of the cluster guaranteed to the queue.",
+				Type: metrics.PromGauge, Value: q.Share},
+			metrics.Sample{Name: "harmony_queue_quota_workers" + l,
+				Help: "Queue guarantee in whole workers on the current cluster.",
+				Type: metrics.PromGauge, Value: float64(q.QuotaWorkers)},
+			metrics.Sample{Name: "harmony_queue_usage_workers" + l,
+				Help: "Workers occupied by the queue's deployed jobs.",
+				Type: metrics.PromGauge, Value: float64(q.UsageWorkers)},
+			metrics.Sample{Name: "harmony_queue_running" + l,
+				Help: "Deployed jobs per queue.",
+				Type: metrics.PromGauge, Value: float64(q.Running)},
+			metrics.Sample{Name: "harmony_queue_admitted_total" + l,
+				Help: "Jobs admitted per queue (initial, arrival, and drain paths).",
+				Type: metrics.PromCounter, Value: float64(q.Admitted)},
+			metrics.Sample{Name: "harmony_queue_held_total" + l,
+				Help: "Submissions held pending, by queue.",
+				Type: metrics.PromCounter, Value: float64(q.Held)},
+			metrics.Sample{Name: "harmony_queue_preempted_total" + l,
+				Help: "Jobs preempted out of the queue's running set.",
+				Type: metrics.PromCounter, Value: float64(q.Preempted)},
+		)
+	}
 	// Per-resource executor utilization, best effort: a scrape must not
 	// fail because a worker is mid-restart.
 	if cpu, net, err := s.b.WorkerStats(); err == nil {

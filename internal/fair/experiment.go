@@ -1,0 +1,378 @@
+package fair
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Experiment is a deterministic discrete-tick simulation of two-tenant
+// contention, used by `harmony-bench -bench-fair` and by tests. One
+// tick is one training iteration: admitted jobs burn one unit of work
+// per tick on a fixed-size gang of workers; completions free the gang.
+//
+// Fair=true runs the DESIGN.md §13 policy — deficit-weighted ordering
+// (Scheduler.Order), quota-gated borrowing (BorrowGated), and
+// preemptive reclaim (Victims) with checkpoint-style resumable
+// requeue. Fair=false is the pre-fair baseline: strict FIFO arrival
+// order with backfill and no preemption.
+//
+// Everything is a pure function of (Workers, Queues, Jobs|Seed): two
+// runs with the same inputs produce bit-identical event logs.
+type Experiment struct {
+	// Workers is the cluster size in workers.
+	Workers int
+	// Queues configures the scheduler; nil means the default queue only.
+	Queues []QueueConfig
+	// Jobs is the workload; nil generates TwoTenantWorkload(Seed).
+	Jobs []SimJob
+	// Seed drives workload generation when Jobs is nil.
+	Seed int64
+	// Ticks bounds the simulation; 0 means run until all jobs finish
+	// (capped at a large internal horizon to keep bugs from spinning).
+	Ticks int
+	// Fair selects the policy: fair ordering + reclaim vs FIFO.
+	Fair bool
+}
+
+// SimJob is one job in the simulated workload.
+type SimJob struct {
+	Name     string `json:"name"`
+	Queue    string `json:"queue"`
+	Priority int    `json:"priority"`
+	// Arrival is the tick the job enters the admission queue.
+	Arrival int `json:"arrival"`
+	// Work is the number of ticks of compute once placed.
+	Work int `json:"work"`
+	// Gang is the fixed worker-set size; the whole gang places
+	// atomically or the job holds.
+	Gang int `json:"gang"`
+}
+
+// SimResult aggregates one simulated run.
+type SimResult struct {
+	Mode string `json:"mode"`
+	// Makespan is the tick after the last completion (or the horizon).
+	Makespan int `json:"makespan"`
+	// Completed counts jobs that finished within the horizon.
+	Completed int `json:"completed"`
+	// Preemptions counts reclaim victims suspended.
+	Preemptions int `json:"preemptions"`
+	// MeanResumeTicks is the mean preemption-to-resume latency in
+	// ticks over victims that resumed (0 when none were preempted).
+	MeanResumeTicks float64 `json:"mean_resume_ticks"`
+	// TimeToQuota maps each queue to the first tick its usage reached
+	// min(quota workers, outstanding demand) while it had outstanding
+	// demand; -1 means it never did.
+	TimeToQuota map[string]int `json:"time_to_quota"`
+	// Events is the deterministic decision log; bit-stability tests
+	// compare it across runs.
+	Events []string `json:"-"`
+}
+
+// EventLog renders the decision log as one newline-joined string.
+func (r SimResult) EventLog() string { return strings.Join(r.Events, "\n") }
+
+// TwoTenantWorkload builds the canonical contention scenario: tenantB
+// floods the cluster with long single-worker jobs at tick 0, then
+// tenantA's gang jobs arrive at tick 1 and find every worker taken.
+// Under FIFO tenantA starves until tenantB's flood drains; under the
+// fair policy reclaim suspends tenantB back to its quota. Durations
+// jitter with seed so the workload is seeded but reproducible.
+func TwoTenantWorkload(seed int64, workers int) []SimJob {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]SimJob, 0, workers+4)
+	for i := 0; i < workers; i++ {
+		jobs = append(jobs, SimJob{
+			Name: fmt.Sprintf("b%02d", i), Queue: "tenantB",
+			Arrival: 0, Work: 60 + rng.Intn(20), Gang: 1,
+		})
+	}
+	gang := workers / 3
+	if gang < 1 {
+		gang = 1
+	}
+	for i := 0; i < 4; i++ {
+		// Alternate gang jobs with single-worker jobs so tenantA's
+		// admissible demand can tile its quota exactly.
+		g := gang
+		if i%2 == 1 {
+			g = 1
+		}
+		jobs = append(jobs, SimJob{
+			Name: fmt.Sprintf("a%02d", i), Queue: "tenantA",
+			Arrival: 1, Work: 25 + rng.Intn(10), Gang: g,
+		})
+	}
+	return jobs
+}
+
+// TwoTenantQueues is the 70/30 split used by the canonical scenario.
+func TwoTenantQueues() []QueueConfig {
+	return []QueueConfig{
+		{Name: "tenantA", Quota: 0.7},
+		{Name: "tenantB", Quota: 0.3},
+	}
+}
+
+// simJob is the mutable per-job simulation state.
+type simJob struct {
+	SimJob
+	seq       uint64
+	remaining int
+	resumable bool
+	// preemptedAt is the tick of the last preemption, -1 otherwise.
+	preemptedAt int
+	startSeq    uint64
+}
+
+type simState struct {
+	exp   *Experiment
+	sched *Scheduler
+	held  []*simJob
+	run   map[string]*simJob
+	free  int
+	// seq and startSeq mirror the master's arrival/deploy counters.
+	seq, startSeq uint64
+	res           SimResult
+	// outstanding tracks per-queue demand (held + running workers).
+	t int
+}
+
+// Run executes the simulation and returns its aggregate result.
+func (e Experiment) Run() (SimResult, error) {
+	if e.Workers <= 0 {
+		return SimResult{}, fmt.Errorf("fair: experiment needs workers")
+	}
+	sched, err := New(e.Queues...)
+	if err != nil {
+		return SimResult{}, err
+	}
+	jobs := e.Jobs
+	if jobs == nil {
+		jobs = TwoTenantWorkload(e.Seed, e.Workers)
+	}
+	for _, j := range jobs {
+		if j.Queue == "" {
+			j.Queue = DefaultQueue
+		}
+		if !sched.Has(j.Queue) {
+			return SimResult{}, fmt.Errorf("fair: job %s: unknown queue %q", j.Name, j.Queue)
+		}
+		if j.Gang < 1 || j.Gang > e.Workers || j.Work < 1 {
+			return SimResult{}, fmt.Errorf("fair: job %s: bad gang/work", j.Name)
+		}
+	}
+	mode := "fifo"
+	if e.Fair {
+		mode = "fair"
+	}
+	st := &simState{
+		exp: &e, sched: sched,
+		run:  make(map[string]*simJob),
+		free: e.Workers,
+		res:  SimResult{Mode: mode, TimeToQuota: make(map[string]int)},
+	}
+	for _, q := range sched.Names() {
+		st.res.TimeToQuota[q] = -1
+	}
+
+	horizon := e.Ticks
+	if horizon <= 0 {
+		horizon = 100000
+	}
+	var resumeTicks []int
+	for st.t = 0; st.t < horizon; st.t++ {
+		// Arrivals enter the admission queue in declaration order.
+		for i := range jobs {
+			if jobs[i].Arrival == st.t {
+				st.seq++
+				st.held = append(st.held, &simJob{
+					SimJob: jobs[i], seq: st.seq,
+					remaining: jobs[i].Work, preemptedAt: -1,
+				})
+			}
+		}
+		// Drain: admit in policy order until nothing fits; the fair
+		// policy may reclaim to unblock an under-quota queue.
+		for {
+			if st.admitOne(&resumeTicks) {
+				continue
+			}
+			if e.Fair && st.reclaimOne() {
+				continue
+			}
+			break
+		}
+		st.recordQuotaAttainment()
+		if len(st.held) == 0 && len(st.run) == 0 {
+			break
+		}
+		// One tick of training on every placed gang.
+		var done []*simJob
+		for _, j := range st.run {
+			j.remaining--
+			if j.remaining == 0 {
+				done = append(done, j)
+			}
+		}
+		sort.Slice(done, func(a, b int) bool { return done[a].Name < done[b].Name })
+		for _, j := range done {
+			delete(st.run, j.Name)
+			st.free += j.Gang
+			st.res.Completed++
+			st.event("complete %s queue=%s", j.Name, j.Queue)
+		}
+	}
+	st.res.Makespan = st.t
+	if len(resumeTicks) > 0 {
+		sum := 0
+		for _, v := range resumeTicks {
+			sum += v
+		}
+		st.res.MeanResumeTicks = float64(sum) / float64(len(resumeTicks))
+	}
+	return st.res, nil
+}
+
+func (st *simState) event(format string, args ...any) {
+	st.res.Events = append(st.res.Events,
+		fmt.Sprintf("t=%d ", st.t)+fmt.Sprintf(format, args...))
+}
+
+func (st *simState) usage() Usage {
+	u := make(Usage)
+	for _, j := range st.run {
+		u[j.Queue] += j.Gang
+	}
+	return u
+}
+
+func (st *simState) heldAsFair() []Held {
+	hs := make([]Held, len(st.held))
+	for i, j := range st.held {
+		hs[i] = Held{Job: j.Name, Queue: j.Queue, Priority: j.Priority,
+			Seq: j.seq, Demand: j.Gang, Resumable: j.resumable}
+	}
+	return hs
+}
+
+func (st *simState) runningAsFair() []Running {
+	rs := make([]Running, 0, len(st.run))
+	for _, j := range st.run {
+		rs = append(rs, Running{Job: j.Name, Queue: j.Queue,
+			Priority: j.Priority, StartSeq: j.startSeq, Workers: j.Gang})
+	}
+	return rs
+}
+
+// order returns held jobs in admission order for the active policy.
+func (st *simState) order() []Held {
+	hs := st.heldAsFair()
+	if st.exp.Fair {
+		return st.sched.Order(hs, st.usage(), st.exp.Workers)
+	}
+	sort.SliceStable(hs, func(a, b int) bool { return hs[a].Seq < hs[b].Seq })
+	return hs
+}
+
+// admitOne places the first held job (in policy order) whose gang fits,
+// honoring quota-gated borrowing under the fair policy. Returns whether
+// anything was admitted.
+func (st *simState) admitOne(resumeTicks *[]int) bool {
+	usage := st.usage()
+	for _, h := range st.order() {
+		if h.Demand > st.free {
+			continue
+		}
+		if st.exp.Fair {
+			quota := st.sched.QuotaWorkers(h.Queue, st.exp.Workers)
+			over := usage[h.Queue]+h.Demand > quota
+			if over && st.sched.BorrowGated(h.Queue, st.heldAsFair(), usage, st.exp.Workers) {
+				continue
+			}
+		}
+		j := st.takeHeld(h.Job)
+		st.startSeq++
+		j.startSeq = st.startSeq
+		st.run[j.Name] = j
+		st.free -= j.Gang
+		if j.resumable {
+			lat := st.t - j.preemptedAt
+			*resumeTicks = append(*resumeTicks, lat)
+			st.event("resume %s queue=%s gang=%d after=%d", j.Name, j.Queue, j.Gang, lat)
+		} else {
+			st.event("admit %s queue=%s gang=%d", j.Name, j.Queue, j.Gang)
+		}
+		return true
+	}
+	return false
+}
+
+// reclaimOne mirrors the master's reclaim round: the best-ordered held
+// job whose queue would stay within quota picks over-quota victims by
+// priority then recency; victims suspend and requeue resumable.
+func (st *simState) reclaimOne() bool {
+	usage := st.usage()
+	for _, h := range st.order() {
+		if usage[h.Queue]+h.Demand > st.sched.QuotaWorkers(h.Queue, st.exp.Workers) {
+			continue
+		}
+		need := h.Demand - st.free
+		if need <= 0 {
+			continue
+		}
+		victims := st.sched.Victims(h.Queue, need, st.runningAsFair(), usage, st.exp.Workers)
+		if victims == nil {
+			continue
+		}
+		for _, v := range victims {
+			j := st.run[v.Job]
+			delete(st.run, j.Name)
+			st.free += j.Gang
+			j.resumable = true
+			j.preemptedAt = st.t
+			st.held = append(st.held, j)
+			st.res.Preemptions++
+			st.event("preempt %s queue=%s remaining=%d for=%s", j.Name, j.Queue, j.remaining, h.Queue)
+		}
+		return true
+	}
+	return false
+}
+
+func (st *simState) takeHeld(name string) *simJob {
+	for i, j := range st.held {
+		if j.Name == name {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return j
+		}
+	}
+	return nil
+}
+
+// recordQuotaAttainment stamps the first tick each queue's usage covers
+// min(quota, outstanding demand) while it has outstanding demand.
+func (st *simState) recordQuotaAttainment() {
+	usage := st.usage()
+	demand := make(Usage)
+	for _, j := range st.run {
+		demand[j.Queue] += j.Gang
+	}
+	for _, j := range st.held {
+		demand[j.Queue] += j.Gang
+	}
+	for q, first := range st.res.TimeToQuota {
+		if first >= 0 || demand[q] == 0 {
+			continue
+		}
+		want := st.sched.QuotaWorkers(q, st.exp.Workers)
+		if demand[q] < want {
+			want = demand[q]
+		}
+		if want > 0 && usage[q] >= want {
+			st.res.TimeToQuota[q] = st.t
+		}
+	}
+}

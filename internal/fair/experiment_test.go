@@ -1,0 +1,98 @@
+package fair
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoTenantExperiment(fairMode bool) Experiment {
+	return Experiment{
+		Workers: 10,
+		Queues:  TwoTenantQueues(),
+		Seed:    7,
+		Fair:    fairMode,
+	}
+}
+
+// TestExperimentDeterministic pins the bit-stability contract: the
+// simulation is a pure function of its inputs, so two runs with the
+// same seed produce identical event logs and aggregates.
+func TestExperimentDeterministic(t *testing.T) {
+	for _, mode := range []bool{false, true} {
+		e := twoTenantExperiment(mode)
+		r1, err := e.Run()
+		if err != nil {
+			t.Fatalf("run 1 (fair=%v): %v", mode, err)
+		}
+		r2, err := e.Run()
+		if err != nil {
+			t.Fatalf("run 2 (fair=%v): %v", mode, err)
+		}
+		if r1.EventLog() != r2.EventLog() {
+			t.Errorf("fair=%v: event logs differ across identical runs", mode)
+		}
+		if r1.Makespan != r2.Makespan || r1.Preemptions != r2.Preemptions {
+			t.Errorf("fair=%v: aggregates differ: %+v vs %+v", mode, r1, r2)
+		}
+	}
+}
+
+// TestExperimentFairBeatsFIFO is the headline A/B: with tenantB
+// flooding at tick 0 and tenantA arriving at tick 1, the fair policy
+// reclaims tenantB down toward its 30% quota so tenantA reaches its
+// share within a few ticks; FIFO makes tenantA wait for the flood to
+// drain.
+func TestExperimentFairBeatsFIFO(t *testing.T) {
+	fifo, err := twoTenantExperiment(false).Run()
+	if err != nil {
+		t.Fatalf("fifo: %v", err)
+	}
+	fair, err := twoTenantExperiment(true).Run()
+	if err != nil {
+		t.Fatalf("fair: %v", err)
+	}
+
+	if fifo.Preemptions != 0 {
+		t.Errorf("fifo preempted %d jobs; baseline must not preempt", fifo.Preemptions)
+	}
+	if fair.Preemptions == 0 {
+		t.Error("fair policy never preempted despite an over-quota flood")
+	}
+	af, ok := fair.TimeToQuota["tenantA"]
+	if !ok || af < 0 {
+		t.Fatalf("fair: tenantA never reached its quota share: %+v", fair.TimeToQuota)
+	}
+	a0, ok := fifo.TimeToQuota["tenantA"]
+	if ok && a0 >= 0 && a0 <= af {
+		t.Errorf("fifo reached tenantA's share at tick %d, not later than fair's %d", a0, af)
+	}
+	if af > 5 {
+		t.Errorf("fair took %d ticks to reach tenantA's share, want <= 5", af)
+	}
+	if fair.MeanResumeTicks <= 0 {
+		t.Error("fair preempted but recorded no resume latency; victims never resumed")
+	}
+	if fifo.Completed != len(TwoTenantWorkload(7, 10)) || fair.Completed != fifo.Completed {
+		t.Errorf("completions: fifo %d, fair %d, want all %d",
+			fifo.Completed, fair.Completed, len(TwoTenantWorkload(7, 10)))
+	}
+	// Preempted work is conserved: every preempt event's remaining
+	// ticks reappear in a later resume of the same job.
+	if n := strings.Count(fair.EventLog(), "resume "); n < fair.Preemptions {
+		t.Errorf("only %d resumes for %d preemptions within the horizon", n, fair.Preemptions)
+	}
+}
+
+// TestExperimentGangNeverSplits scans the fair event log for a gang
+// admission that could only have happened with a partial placement.
+func TestExperimentGangNeverSplits(t *testing.T) {
+	res, err := twoTenantExperiment(true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Events {
+		if strings.Contains(ev, "gang=2") && strings.Contains(ev, " a0") {
+			t.Errorf("tenantA gang shrank: %s", ev)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/fair"
 	"harmony/internal/ps"
 	"harmony/internal/rpc"
 	"harmony/internal/worker"
@@ -64,6 +65,31 @@ type Admission struct {
 type pendingJob struct {
 	spec JobSpec
 	info core.JobInfo
+	// Fair-scheduler coordinates (DESIGN.md §13): the resolved queue,
+	// the job's priority, and its arrival sequence number (FIFO within
+	// equal priority; preserved across preemption so a reclaimed job
+	// resumes ahead of later arrivals in its queue).
+	queue    string
+	priority int
+	seq      uint64
+	// holdReason classifies why the job waits (fair.Hold*).
+	holdReason string
+	// resume carries a preempted job's checkpoint frame; on re-admission
+	// the job restores it and continues from resumeIter. finishedCh and
+	// epoch survive the preemption so WaitJob callers stay parked and
+	// stragglers of the suspended placement stay stale.
+	resume     []float64
+	resumeIter int
+	finishedCh chan struct{}
+	epoch      int
+}
+
+// demand is the gang size the job must place atomically.
+func (p *pendingJob) demand() int {
+	if p.spec.MinWorkers > 1 {
+		return p.spec.MinWorkers
+	}
+	return 1
 }
 
 // counters aggregates control-plane events; guarded by Master.mu.
@@ -73,6 +99,7 @@ type counters struct {
 	heldPending        int64
 	queueDrained       int64
 	canceled           int64
+	preempted          int64
 	migrations         int64
 	recoveries         int64
 	checkpointFailures int64
@@ -91,6 +118,9 @@ type Counters struct {
 	QueueDrained int64
 	// Canceled counts operator cancellations (pending or running).
 	Canceled int64
+	// Preempted counts running jobs the fair scheduler reclaimed and
+	// requeued as resumable held jobs (DESIGN.md §13).
+	Preempted int64
 	// Migrations counts pause/resume group moves.
 	Migrations int64
 	// Recoveries counts failure-triggered job restarts.
@@ -110,6 +140,7 @@ func (m *Master) Counters() Counters {
 		HeldPending:        m.counters.heldPending,
 		QueueDrained:       m.counters.queueDrained,
 		Canceled:           m.counters.canceled,
+		Preempted:          m.counters.preempted,
 		Migrations:         m.counters.migrations,
 		Recoveries:         m.counters.recoveries,
 		CheckpointFailures: m.counters.checkpointFailures,
@@ -130,15 +161,20 @@ func (m *Master) knownLocked(name string) bool {
 	return false
 }
 
-// Enqueue submits a job through the online admission path of §IV-B4:
-// an idle cluster starts the job immediately on all workers; otherwise
-// the arrival rule (core.TryAddJob, 5% regrouping threshold) places it
-// into the running group that improves cluster utilization, or holds it
-// pending. Pending jobs are retried whenever a job completes, a
-// migration reshapes the plan, or a running job is canceled.
+// Enqueue submits a job through the online admission path of §IV-B4
+// under the fair policy (DESIGN.md §13): the job places atomically into
+// a running group (the arrival rule) or onto free workers — an idle
+// cluster is the degenerate case — unless its queue's quota gates the
+// borrow, in which case it holds with a reason. Pending jobs are
+// retried in deficit-weighted fair order whenever a job completes, a
+// migration reshapes the plan, or a job is canceled or preempted.
 func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 	if spec.Name == "" || spec.Iterations <= 0 {
 		return Admission{}, errors.New("master: job needs a name and positive iterations")
+	}
+	if spec.MaxWorkers > 0 && spec.MinWorkers > spec.MaxWorkers {
+		return Admission{}, fmt.Errorf("master: job %q wants min %d > max %d workers",
+			spec.Name, spec.MinWorkers, spec.MaxWorkers)
 	}
 	info := prof.info(spec.Name)
 	m.mu.Lock()
@@ -150,13 +186,33 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 		m.mu.Unlock()
 		return Admission{}, fmt.Errorf("master: duplicate job %q: %w", spec.Name, ErrDuplicateJob)
 	}
-	group, predicted, initial, ok := m.admitLocked(info)
+	queue := spec.Queue
+	if queue == "" {
+		queue = fair.DefaultQueue
+	}
+	if !m.fairsched.Has(queue) {
+		m.mu.Unlock()
+		return Admission{}, fmt.Errorf("master: %w %q", ErrUnknownQueue, queue)
+	}
+	m.arrivalSeq++
+	p := &pendingJob{spec: spec, info: info, queue: queue,
+		priority: spec.Priority, seq: m.arrivalSeq}
+	group, predicted, initial, ok, reason := m.admitLocked(spec, info, m.heldLocked())
 	if !ok {
-		m.pending = append(m.pending, &pendingJob{spec: spec, info: info})
+		p.holdReason = reason
+		// Held work is waitable from the moment it is accepted: WaitJob
+		// parks on this channel, which survives the pending→deployed
+		// transition (and is closed by Cancel/Shutdown of a held job).
+		p.finishedCh = make(chan struct{})
+		m.pending = append(m.pending, p)
 		m.counters.heldPending++
+		m.qcLocked(queue).held++
 		m.mu.Unlock()
 		m.journal.append(Event{Kind: EventHold, Job: spec.Name,
-			Note: "arrival rule found no improving placement"})
+			Note: "held: " + reason})
+		// A hold in an under-quota queue may be reclaimable right now:
+		// the drain pass evaluates preemption against the live plan.
+		go m.drainQueue()
 		return Admission{}, nil
 	}
 	kind := EventAdmitArrival
@@ -166,40 +222,13 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 	} else {
 		m.counters.admittedArrival++
 	}
+	m.qcLocked(queue).admitted++
 	m.mu.Unlock()
 	m.journal.append(predictedFrom(Event{Kind: kind, Job: spec.Name, Group: group}, predicted))
-	if err := m.submit(spec, group, info); err != nil {
+	if err := m.submitPending(p, group); err != nil {
 		return Admission{}, err
 	}
 	return Admission{Admitted: true, Workers: group}, nil
-}
-
-// admitLocked decides placement for a newly arrived job. On an idle
-// cluster the job forms the initial group across all workers. Otherwise
-// it is placed by TryAddJob into the running group that raises the
-// scheduling score — without moving any running job — or rejected, in
-// which case it waits (§IV-B4).
-func (m *Master) admitLocked(info core.JobInfo) (group []string, predicted core.Group, initial, ok bool) {
-	if len(m.workers) == 0 {
-		return nil, core.Group{}, false, false
-	}
-	plan, members := m.livePlanLocked()
-	if len(plan.Groups) == 0 {
-		names := make([]string, len(m.workers))
-		for i, w := range m.workers {
-			names[i] = w.name
-		}
-		return names, core.Group{Jobs: []core.JobInfo{info}, Machines: len(names)}, true, true
-	}
-	next, placed := core.TryAddJob(plan, info, m.opts)
-	if !placed {
-		return nil, core.Group{}, false, false
-	}
-	gi, found := next.FindJob(info.ID)
-	if !found || gi >= len(members) {
-		return nil, core.Group{}, false, false
-	}
-	return members[gi], next.Groups[gi], false, true
 }
 
 // livePlanLocked derives the scheduler's view of the running cluster:
@@ -257,9 +286,13 @@ func (m *Master) jobInfoLocked(name string, j *job) core.JobInfo {
 	return info
 }
 
-// drainQueue retries held jobs in FIFO order against the current plan,
-// deploying every one the arrival rule now accepts. It is called after
-// completions, migrations and cancellations.
+// drainQueue retries held jobs in deficit-weighted fair order against
+// the current plan (DESIGN.md §13), deploying every one the policy now
+// accepts. When nothing admits but an under-quota queue's gang could
+// place by reclaiming over-quota capacity, it preempts the selected
+// victims through the pause/checkpoint path and retries. It is called
+// after completions, migrations, cancellations, holds, and queue
+// reconfigurations.
 func (m *Master) drainQueue() {
 	for {
 		m.mu.Lock()
@@ -267,32 +300,66 @@ func (m *Master) drainQueue() {
 			m.mu.Unlock()
 			return
 		}
-		picked := -1
+		held := m.heldLocked()
+		ordered := m.fairsched.Order(held, m.usageLocked(), len(m.workers))
+		var p *pendingJob
 		var group []string
 		var predicted core.Group
 		var initial bool
-		for i, p := range m.pending {
-			if g, pred, init, ok := m.admitLocked(p.info); ok {
-				picked, group, predicted, initial = i, g, pred, init
+		for _, h := range ordered {
+			cand := m.pendingByNameLocked(h.Job)
+			if cand == nil {
+				continue
+			}
+			g, pred, init, ok, reason := m.admitLocked(cand.spec, cand.info, held)
+			if ok {
+				p, group, predicted, initial = cand, g, pred, init
 				break
 			}
+			if cand.holdReason != fair.HoldPreempted {
+				cand.holdReason = reason
+			}
 		}
-		if picked < 0 {
+		if p == nil {
+			// Nothing places as-is: reclaim for the first under-quota gang
+			// that preemption can unblock. The latch serializes rounds so
+			// concurrent drains never double-preempt.
+			target := m.reclaimTargetLocked(ordered)
+			if target == nil || m.reclaiming {
+				m.mu.Unlock()
+				return
+			}
+			m.reclaiming = true
+			beneficiary := target.p.queue
+			victims := target.victims
 			m.mu.Unlock()
-			return
+			for _, v := range victims {
+				m.preemptJob(v.Job, beneficiary)
+			}
+			m.mu.Lock()
+			m.reclaiming = false
+			m.mu.Unlock()
+			continue
 		}
-		p := m.pending[picked]
-		m.pending = append(m.pending[:picked], m.pending[picked+1:]...)
+		m.removePendingLocked(p)
 		m.counters.queueDrained++
 		if initial {
 			m.counters.admittedInitial++
 		} else {
 			m.counters.admittedArrival++
 		}
+		m.qcLocked(p.queue).admitted++
+		m.qcLocked(p.queue).drained++
 		m.mu.Unlock()
+		kind := EventQueueDrain
+		note := ""
+		if p.resume != nil {
+			kind = EventResume
+			note = fmt.Sprintf("resume from checkpoint iteration %d", p.resumeIter-1)
+		}
 		m.journal.append(predictedFrom(
-			Event{Kind: EventQueueDrain, Job: p.spec.Name, Group: group}, predicted))
-		if err := m.submit(p.spec, group, p.info); err != nil {
+			Event{Kind: kind, Job: p.spec.Name, Group: group, Note: note}, predicted))
+		if err := m.submitPending(p, group); err != nil {
 			// Deployment raced a worker failure or shutdown; requeue and
 			// let the next drain retry rather than spinning here.
 			m.mu.Lock()
@@ -314,8 +381,21 @@ func (m *Master) Cancel(name string) error {
 		if p.spec.Name == name {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
 			m.counters.canceled++
+			m.qcLocked(p.queue).canceled++
+			if p.finishedCh != nil {
+				// A canceled preempted job will never resume; unpark its
+				// WaitJob callers.
+				close(p.finishedCh)
+			}
 			m.mu.Unlock()
-			m.journal.append(Event{Kind: EventCancel, Job: name, Note: "canceled while pending"})
+			// cancel_held is distinct from a running-job cancel so replay
+			// can reconstruct queue state: this name never held workers
+			// (or had already released them to a preemption).
+			note := "canceled while held"
+			if p.holdReason != "" {
+				note += ": " + p.holdReason
+			}
+			m.journal.append(Event{Kind: EventCancelHeld, Job: name, Note: note})
 			return nil
 		}
 	}
@@ -339,6 +419,7 @@ func (m *Master) Cancel(name string) error {
 		MeasuredIterSeconds: iter, MeasuredCPUUtil: ucpu, MeasuredNetUtil: unet})
 	j.status = StatusCanceled
 	m.counters.canceled++
+	m.qcLocked(j.queue).canceled++
 	for _, bs := range j.barriers {
 		for _, ch := range bs.waiters {
 			ch <- worker.Stop
@@ -377,6 +458,21 @@ type JobView struct {
 	Profiled    bool
 	// CheckpointIter is the iteration of the latest background snapshot.
 	CheckpointIter int
+	// Queue and Priority are the job's fair-scheduler coordinates.
+	Queue    string
+	Priority int
+	// HoldReason classifies a pending job's wait (fair.Hold*): the Eq. 1
+	// slowdown bound, no feasible gang, quota exhaustion, or a
+	// preemption awaiting resume. Empty for deployed jobs.
+	HoldReason string
+	// QueuePosition is the job's 1-based slot in the fair admission
+	// order (0 for deployed jobs) — a held job is distinguishable from a
+	// stuck one by reason and place in line.
+	QueuePosition int
+	// Resumable marks a preempted job holding a checkpoint; ResumeIter
+	// is the iteration it will continue from on re-admission.
+	Resumable  bool
+	ResumeIter int
 }
 
 func (m *Master) jobViewLocked(name string, j *job) JobView {
@@ -396,7 +492,38 @@ func (m *Master) jobViewLocked(name string, j *job) JobView {
 		NetSeconds:     info.Net,
 		Profiled:       ok && met.Profiled(),
 		CheckpointIter: j.checkpointIter,
+		Queue:          j.queue,
+		Priority:       j.priority,
 	}
+}
+
+// pendingViewLocked builds the view of one held job; positions maps job
+// name to its 1-based slot in the fair admission order.
+func (m *Master) pendingViewLocked(p *pendingJob, positions map[string]int) JobView {
+	return JobView{
+		Name:          p.spec.Name,
+		State:         StatusPending.String(),
+		CompSeconds:   p.info.Comp,
+		NetSeconds:    p.info.Net,
+		Queue:         p.queue,
+		Priority:      p.priority,
+		HoldReason:    p.holdReason,
+		QueuePosition: positions[p.spec.Name],
+		Resumable:     p.resume != nil,
+		ResumeIter:    p.resumeIter,
+		Iteration:     max(p.resumeIter-1, 0),
+	}
+}
+
+// queuePositionsLocked maps each held job to its 1-based slot in the
+// fair admission order.
+func (m *Master) queuePositionsLocked() map[string]int {
+	ordered := m.fairsched.Order(m.heldLocked(), m.usageLocked(), len(m.workers))
+	positions := make(map[string]int, len(ordered))
+	for i, h := range ordered {
+		positions[h.Job] = i + 1
+	}
+	return positions
 }
 
 // ListJobs reports every deployed and pending job, sorted by name.
@@ -407,13 +534,9 @@ func (m *Master) ListJobs() []JobView {
 	for name, j := range m.jobs {
 		views = append(views, m.jobViewLocked(name, j))
 	}
+	positions := m.queuePositionsLocked()
 	for _, p := range m.pending {
-		views = append(views, JobView{
-			Name:        p.spec.Name,
-			State:       StatusPending.String(),
-			CompSeconds: p.info.Comp,
-			NetSeconds:  p.info.Net,
-		})
+		views = append(views, m.pendingViewLocked(p, positions))
 	}
 	sort.Slice(views, func(a, b int) bool { return views[a].Name < views[b].Name })
 	return views
@@ -428,12 +551,7 @@ func (m *Master) Job(name string) (JobView, bool) {
 	}
 	for _, p := range m.pending {
 		if p.spec.Name == name {
-			return JobView{
-				Name:        name,
-				State:       StatusPending.String(),
-				CompSeconds: p.info.Comp,
-				NetSeconds:  p.info.Net,
-			}, true
+			return m.pendingViewLocked(p, m.queuePositionsLocked()), true
 		}
 	}
 	return JobView{}, false
@@ -503,6 +621,12 @@ func (m *Master) Shutdown(timeout time.Duration) []string {
 		return nil
 	}
 	m.draining = true
+	for _, p := range m.pending {
+		if p.finishedCh != nil {
+			// Dropped preempted jobs never resume; unpark WaitJob callers.
+			close(p.finishedCh)
+		}
+	}
 	m.pending = nil
 	var targets []target
 	for name, j := range m.jobs {

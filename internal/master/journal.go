@@ -19,6 +19,16 @@ const (
 	EventComplete     = "complete"
 	EventPSRebalance  = "ps_rebalance"
 	EventPSResize     = "ps_resize"
+	// EventPreempt and EventResume bracket a fair-scheduler reclaim
+	// (DESIGN.md §13): preempt freezes the victim's measured T_itr/U at
+	// suspension, resume stamps the model's prediction for the placement
+	// the job restores onto.
+	EventPreempt = "preempt"
+	EventResume  = "resume"
+	// EventCancelHeld marks a cancel of a never-admitted held job, so
+	// replay can reconstruct queue state without guessing whether the
+	// canceled name ever held workers.
+	EventCancelHeld = "cancel_held"
 )
 
 // Event is one scheduler decision: what the master did with a job, the

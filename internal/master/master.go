@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/fair"
 	"harmony/internal/metrics"
 	"harmony/internal/mlapp"
 	"harmony/internal/profile"
@@ -31,6 +32,19 @@ type JobSpec struct {
 	Alpha float64
 	// Seed drives synthetic data generation and model init.
 	Seed int64
+	// Queue names the admission queue (DESIGN.md §13); empty means the
+	// default queue.
+	Queue string
+	// Priority orders jobs within a queue (higher first) and protects
+	// running jobs from preemption (lowest-priority victims go first).
+	Priority int
+	// MinWorkers is the job's gang size: its full worker set places
+	// atomically or the whole job holds — never partial. <= 1 means any
+	// single worker suffices.
+	MinWorkers int
+	// MaxWorkers caps the placement size (0 = no cap). A flood of
+	// MaxWorkers=1 jobs shares a cluster instead of serializing on it.
+	MaxWorkers int
 }
 
 // JobStatus reports a job's lifecycle.
@@ -81,6 +95,15 @@ type job struct {
 	workers []int // indexes into Master.workers
 	status  JobStatus
 	iter    int // last completed iteration (max over barriers)
+
+	// queue and priority are the fair-scheduler coordinates (§13);
+	// arrival is the submission sequence number (kept across preemption
+	// so a reclaimed job resumes ahead of later arrivals in its queue),
+	// startSeq the deployment sequence (recency for victim selection).
+	queue    string
+	priority int
+	arrival  uint64
+	startSeq uint64
 
 	// prof carries the submitter's profile hints (§IV-B1 shape); live
 	// profiled metrics supersede it once MinSamples have accumulated.
@@ -133,6 +156,15 @@ type Master struct {
 	draining bool
 	closed   bool
 
+	// Fair-scheduler state (fairsched.go): the active queue policy, a
+	// per-queue counter ledger, the arrival/deployment sequence clocks,
+	// and the reclaim latch that serializes preemption rounds.
+	fairsched  *fair.Scheduler
+	qcounters  map[string]*queueCounters
+	arrivalSeq uint64
+	deploySeq  uint64
+	reclaiming bool
+
 	// journal records scheduler decisions (always on; bounded ring).
 	// trace, when non-nil, collects worker spans for /v1/trace.
 	journal *journal
@@ -153,11 +185,13 @@ type Master struct {
 // New starts a master listening on addr ("127.0.0.1:0" for tests).
 func New(addr string, opts core.Options) (*Master, error) {
 	m := &Master{
-		srv:      rpc.NewServer(),
-		jobs:     make(map[string]*job),
-		profiles: profile.NewStore(profile.DefaultEWMAAlpha),
-		opts:     opts,
-		journal:  newJournal(DefaultJournalCapacity),
+		srv:       rpc.NewServer(),
+		jobs:      make(map[string]*job),
+		profiles:  profile.NewStore(profile.DefaultEWMAAlpha),
+		opts:      opts,
+		journal:   newJournal(DefaultJournalCapacity),
+		fairsched: fair.Default(),
+		qcounters: make(map[string]*queueCounters),
 	}
 	m.srv.Handle("master.register", rpc.Typed(m.handleRegister))
 	m.srv.Handle(worker.MethodBarrier, rpc.Typed(m.handleBarrier))
@@ -230,11 +264,15 @@ func (m *Master) Workers() []string {
 // Submit loads and starts a job across the given workers (all registered
 // workers when group is nil), bypassing the admission queue.
 func (m *Master) Submit(spec JobSpec, group []string) error {
-	return m.submit(spec, group, core.JobInfo{ID: spec.Name})
+	return m.submitPending(&pendingJob{spec: spec, info: core.JobInfo{ID: spec.Name}}, group)
 }
 
-// submit is Submit with the profile hints the admission path carries.
-func (m *Master) submit(spec JobSpec, group []string, prof core.JobInfo) error {
+// submitPending deploys a (possibly previously preempted) job onto a
+// worker group. The pendingJob carries the admission path's profile
+// hints, the queue coordinates, and — after a preemption — the
+// checkpoint frame to restore from.
+func (m *Master) submitPending(p *pendingJob, group []string) error {
+	spec := p.spec
 	if spec.Name == "" || spec.Iterations <= 0 {
 		return errors.New("master: job needs a name and positive iterations")
 	}
@@ -247,22 +285,48 @@ func (m *Master) submit(spec JobSpec, group []string, prof core.JobInfo) error {
 		m.mu.Unlock()
 		return fmt.Errorf("master: duplicate job %q: %w", spec.Name, ErrDuplicateJob)
 	}
+	queue := spec.Queue
+	if queue == "" {
+		queue = fair.DefaultQueue
+	}
+	if !m.fairsched.Has(queue) {
+		m.mu.Unlock()
+		return fmt.Errorf("master: %w %q", ErrUnknownQueue, queue)
+	}
 	idxs, err := m.workerIndexesLocked(group)
 	if err != nil {
 		m.mu.Unlock()
 		return err
 	}
+	if p.seq == 0 {
+		m.arrivalSeq++
+		p.seq = m.arrivalSeq
+	}
+	m.deploySeq++
 	j := &job{
-		spec: spec, workers: idxs, status: StatusRunning, prof: prof, epoch: 1,
+		// epoch advances past every prior deployment of this name, so a
+		// preempted placement's stragglers stay stale after the resume.
+		spec: spec, workers: idxs, status: StatusRunning, prof: p.info, epoch: p.epoch + 1,
+		queue: queue, priority: spec.Priority, arrival: p.seq, startSeq: m.deploySeq,
 		barriers:   make(map[int]*barrierState),
 		doneFrom:   make(map[string]bool),
 		pausedCh:   make(chan struct{}),
-		finishedCh: make(chan struct{}),
+		finishedCh: p.finishedCh,
+	}
+	if j.finishedCh == nil {
+		j.finishedCh = make(chan struct{})
+	}
+	fromIter := 0
+	if p.resume != nil {
+		fromIter = p.resumeIter
+		j.iter = fromIter - 1
+		j.checkpoint = p.resume
+		j.checkpointIter = fromIter - 1
 	}
 	m.jobs[spec.Name] = j
 	m.mu.Unlock()
 
-	if err := m.deploy(j, nil, 0); err != nil {
+	if err := m.deploy(j, p.resume, fromIter); err != nil {
 		m.mu.Lock()
 		delete(m.jobs, spec.Name)
 		m.mu.Unlock()
@@ -460,13 +524,21 @@ func (m *Master) handleJobDone(a worker.JobDoneArgs) (worker.Ack, error) {
 // WaitJob blocks until the job completes.
 func (m *Master) WaitJob(name string, timeout time.Duration) error {
 	m.mu.Lock()
-	j, ok := m.jobs[name]
+	var ch chan struct{}
+	if j, ok := m.jobs[name]; ok {
+		ch = j.finishedCh
+	} else if p := m.pendingByNameLocked(name); p != nil {
+		// A held job is known work: it completes after a drain (or a
+		// resume from preemption) eventually deploys it. The channel
+		// survives the pending→deployed transition.
+		ch = p.finishedCh
+	}
 	m.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("master: unknown job %q", name)
+	if ch == nil {
+		return fmt.Errorf("master: %w %q", ErrUnknownJob, name)
 	}
 	select {
-	case <-j.finishedCh:
+	case <-ch:
 		return nil
 	case <-time.After(timeout):
 		return fmt.Errorf("master: job %q not finished after %s", name, timeout)

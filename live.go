@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"harmony/internal/ctl"
+	"harmony/internal/fair"
 	"harmony/internal/master"
 	"harmony/internal/worker"
 )
@@ -56,6 +57,15 @@ type Training struct {
 	Alpha float64
 	// Seed keeps data generation reproducible.
 	Seed int64
+	// Queue names the fair-scheduler queue; empty means "default".
+	Queue string
+	// Priority orders the job within its queue (higher first).
+	Priority int
+	// MinWorkers is the gang size: the full worker set places
+	// atomically or the job holds pending — never a partial gang.
+	MinWorkers int
+	// MaxWorkers caps the placement size; 0 means no cap.
+	MaxWorkers int
 	// Workers restricts the job to a worker subset; nil uses all.
 	Workers []string
 }
@@ -72,6 +82,10 @@ func (m *Master) Submit(t Training) error {
 		Iterations: t.Iterations,
 		Alpha:      t.Alpha,
 		Seed:       t.Seed,
+		Queue:      t.Queue,
+		Priority:   t.Priority,
+		MinWorkers: t.MinWorkers,
+		MaxWorkers: t.MaxWorkers,
 	}, t.Workers)
 }
 
@@ -195,6 +209,10 @@ func (m *Master) Enqueue(t Training, hints Job) (Admission, error) {
 		Iterations: t.Iterations,
 		Alpha:      t.Alpha,
 		Seed:       t.Seed,
+		Queue:      t.Queue,
+		Priority:   t.Priority,
+		MinWorkers: t.MinWorkers,
+		MaxWorkers: t.MaxWorkers,
 	}, master.Profile{
 		CompSeconds: hints.CompSeconds,
 		NetSeconds:  hints.NetSeconds,
@@ -214,6 +232,31 @@ func (m *Master) Cancel(name string) error { return m.m.Cancel(name) }
 
 // QueueDepth reports how many jobs are held in the admission queue.
 func (m *Master) QueueDepth() int { return m.m.QueueDepth() }
+
+// QueueConfig declares one fair-scheduler queue: its guaranteed quota
+// fraction, its weight for splitting unreserved capacity, its
+// over-quota weight for ordering borrowers, and an optional parent for
+// hierarchical shares. See DESIGN.md §13.
+type QueueConfig = fair.QueueConfig
+
+// QueueView is the live per-queue surface: resolved share, quota and
+// usage in workers, held depth, and cumulative counters.
+type QueueView = master.QueueView
+
+// ParseQueues parses a queue spec of the form
+// "name:quota=0.7,weight=2;other:quota=0.3" (keys: quota, weight,
+// over-quota-weight/oqw, parent) into queue configurations, for
+// command-line wiring.
+func ParseQueues(spec string) ([]QueueConfig, error) { return fair.ParseConfigs(spec) }
+
+// ConfigureQueues replaces the fair-scheduler queue hierarchy. The
+// "default" queue always exists; every queue referenced by a running or
+// held job must survive the swap. Reconfiguring kicks a queue drain so
+// held jobs re-order under the new shares immediately.
+func (m *Master) ConfigureQueues(cfgs ...QueueConfig) error { return m.m.ConfigureQueues(cfgs...) }
+
+// Queues reports the fair-scheduler queues sorted by name.
+func (m *Master) Queues() []QueueView { return m.m.Queues() }
 
 // Worker is a live worker process handle.
 type Worker struct {
