@@ -5,10 +5,10 @@ GO ?= go
 VERSION ?= dev
 LDFLAGS := -ldflags "-X harmony/internal/obs.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair trace-demo
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair bench-place trace-demo
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -58,6 +58,15 @@ fair-smoke:
 	$(GO) test -race ./internal/fair/
 	$(GO) test -race -run 'TestFair' ./internal/master/ ./internal/ctl/
 
+## place-smoke: race-enabled pass over the network-aware placement layer —
+## the interleave solver (determinism, order independence), the link
+## model (demand-curve conservation, capacities), the contention physics
+## at 100-machine scale, and NetModel parallel/sequential bit-identity
+place-smoke:
+	$(GO) test -race -run 'TestSolveInterleave|TestCompFloor|TestGroupCompatibility' ./internal/core/
+	$(GO) test -race -run 'TestScheduleParallelMatchesSequentialNetModel' ./internal/core/
+	$(GO) test -race -run 'TestNewLinkModel|TestDemandCurve|TestGroupDemand|TestLinkContention' ./internal/sim/
+
 ## obs-smoke: race-enabled pass over the tracing subsystem (span ring,
 ## histograms, traced 2-job live cluster with a worker killed mid-run)
 obs-smoke:
@@ -100,6 +109,13 @@ bench-rebalance:
 ## policy vs the FIFO baseline (BENCH_fair.json)
 bench-fair:
 	$(GO) run ./cmd/harmony-bench -bench-fair
+
+## bench-place: network-aware placement report — comm-heavy two-per-group
+## workload at 100 machines under link-contention physics, scheduler's
+## aggregate-bandwidth model vs the net-aware model with CASSINI-style
+## interleaving (BENCH_placement.json)
+bench-place:
+	$(GO) run ./cmd/harmony-bench -bench-place
 
 ## trace-demo: run a traced 2-worker, 2-job live cluster and write
 ## trace.json (open at https://ui.perfetto.dev)

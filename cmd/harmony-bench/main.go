@@ -9,6 +9,7 @@
 //	harmony-bench -bench-comp              # compute-path report + BENCH_comppath.json
 //	harmony-bench -bench-rebalance         # PS hot-stripe rebalance A/B + BENCH_psrebalance.json
 //	harmony-bench -bench-fair              # two-tenant fair-vs-FIFO A/B + BENCH_fair.json
+//	harmony-bench -bench-place             # net-aware placement A/B + BENCH_placement.json
 //	harmony-bench -list
 package main
 
@@ -109,6 +110,8 @@ func run(args []string) error {
 	benchRebalanceOut := fs.String("bench-rebalance-out", "BENCH_psrebalance.json", "output path for -bench-rebalance results")
 	benchFair := fs.Bool("bench-fair", false, "measure two-tenant contention under the fair scheduler vs the FIFO baseline, write BENCH_fair.json, and exit")
 	benchFairOut := fs.String("bench-fair-out", "BENCH_fair.json", "output path for -bench-fair results")
+	benchPlace := fs.Bool("bench-place", false, "measure comm-heavy co-location under link contention with the net-aware scheduler vs the aggregate-bandwidth baseline, write BENCH_placement.json, and exit")
+	benchPlaceOut := fs.String("bench-place-out", "BENCH_placement.json", "output path for -bench-place results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +130,9 @@ func run(args []string) error {
 	}
 	if *benchFair {
 		return runBenchFair(*benchFairOut)
+	}
+	if *benchPlace {
+		return runBenchPlace(*benchPlaceOut)
 	}
 	exps := experiments()
 	if *list {

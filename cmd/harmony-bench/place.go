@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"harmony/internal/core"
+	"harmony/internal/sim"
+	"harmony/internal/workload"
+)
+
+// Network-aware placement benchmark (-bench-place): the contention A/B
+// of DESIGN.md §14 at the paper's 100-machine scale. Both arms run the
+// non-work-conserving shared-link physics (sim.Config.LinkContention):
+// comm bursts from different jobs that drive the link concurrently burn
+// CollisionLoss of aggregate goodput and stay phase-locked. The OFF arm
+// schedules with the paper's aggregate-bandwidth model, so co-located
+// comm-heavy jobs collide every iteration; the ON arm adds
+// core.Options.NetModel — compatibility-aware grouping plus the
+// CASSINI-style phase offsets the simulator enforces by staggering
+// cycle starts. Headline metric: aggregate iteration throughput ON/OFF.
+const (
+	placeSeeds    = 5
+	placeMachines = 100
+	placeJobs     = 24
+	placeIters    = 30
+	// placeCollisionLoss models heavy incast-style congestion on the
+	// oversubscribed shared link: colliding bursts lose nearly half the
+	// aggregate goodput to retransmits and head-of-line blocking.
+	placeCollisionLoss = 0.45
+)
+
+// placeArmResult aggregates one scheduler arm over the seeds.
+type placeArmResult struct {
+	Mode string `json:"mode"`
+	// MeanThroughput is iterations completed per 1000 simulated seconds,
+	// averaged over seeds.
+	MeanThroughput float64 `json:"mean_iters_per_1000s"`
+	// MeanIterSeconds is the mean per-job iteration time (run time over
+	// iterations), averaged over jobs then seeds.
+	MeanIterSeconds float64 `json:"mean_iter_seconds"`
+	MeanMakespan    float64 `json:"mean_makespan_seconds"`
+	MeanJCT         float64 `json:"mean_jct_seconds"`
+	// MeanCollisionSeconds is link-time per run during which comm bursts
+	// from different jobs collided (Result.LinkCollisionSeconds).
+	MeanCollisionSeconds float64 `json:"mean_collision_seconds"`
+	Completed            int     `json:"completed"`
+	Failed               int     `json:"failed"`
+}
+
+// placeReport is the machine-readable record written to
+// BENCH_placement.json; future PRs diff against it.
+type placeReport struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go_version"`
+	Timestamp  string         `json:"timestamp"`
+	Machines   int            `json:"machines"`
+	Jobs       int            `json:"jobs"`
+	Seeds      int            `json:"seeds"`
+	Baseline   placeArmResult `json:"baseline"`
+	NetAware   placeArmResult `json:"net_aware"`
+	// ThroughputSpeedup is NetAware throughput over Baseline (higher is
+	// better); IterTimeRatio is NetAware mean T_itr over Baseline (lower
+	// is better).
+	ThroughputSpeedup float64 `json:"throughput_net_aware_vs_baseline"`
+	IterTimeRatio     float64 `json:"iter_time_net_aware_vs_baseline"`
+}
+
+// placeScenario builds the comm-heavy contention workload: 24 jobs whose
+// computation-to-communication ratio balances at DoP ~8, so Algorithm 1
+// packs them two per group across the 100 machines. PULL/PUSH splits are
+// deliberately heterogeneous — long asymmetric comm windows are what
+// collide when cycles dispatch in phase and what the interleaving
+// solver's offsets separate.
+func placeScenario() []sim.Job {
+	pullFracs := []float64{0.8, 0.35, 0.65, 0.5}
+	specs := make([]workload.Spec, placeJobs)
+	for i := range specs {
+		mul := 0.9 + 0.02*float64(i%11)
+		specs[i] = workload.Spec{
+			ID:                 fmt.Sprintf("place-%02d", i),
+			App:                workload.Lasso,
+			Data:               workload.Dataset{Name: "PlaceSynth", InputGB: 8, ModelGB: 2},
+			Hyper:              fmt.Sprintf("mul=%.2f", mul),
+			CompMachineSeconds: 1600 * mul,
+			NetSeconds:         200 * mul,
+			PullFrac:           pullFracs[i%len(pullFracs)],
+			Iterations:         placeIters,
+			WorkGB:             0.5,
+		}
+	}
+	return sim.Jobs(specs, nil)
+}
+
+func runBenchPlace(path string) error {
+	report := placeReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Machines:   placeMachines,
+		Jobs:       placeJobs,
+		Seeds:      placeSeeds,
+	}
+	fmt.Printf("benchmarking net-aware placement: %d machines, %d comm-heavy jobs, link contention on, %d seeds per arm...\n",
+		placeMachines, placeJobs, placeSeeds)
+
+	measure := func(netAware bool) (placeArmResult, error) {
+		out := placeArmResult{Mode: "baseline"}
+		if netAware {
+			out.Mode = "net_aware"
+		}
+		for seed := 0; seed < placeSeeds; seed++ {
+			cfg := sim.Config{
+				Machines:       placeMachines,
+				Mode:           sim.ModeHarmony,
+				Seed:           int64(seed + 1),
+				LinkContention: true,
+				CollisionLoss:  placeCollisionLoss,
+				SchedOpts:      core.Options{NetModel: netAware, MaxJobsPerGroup: 2},
+			}
+			res, err := sim.Run(cfg, placeScenario())
+			if err != nil {
+				return out, fmt.Errorf("%s seed %d: %w", out.Mode, seed, err)
+			}
+			out.Failed += len(res.Failed)
+			out.Completed += len(res.Records)
+			makespan := res.Summary.Makespan.Seconds()
+			if makespan > 0 {
+				iters := float64(len(res.Records) * placeIters)
+				out.MeanThroughput += iters / makespan * 1000
+			}
+			var iterSum float64
+			for _, r := range res.Records {
+				iterSum += r.Finish.Sub(r.Start).Seconds() / placeIters
+			}
+			if len(res.Records) > 0 {
+				out.MeanIterSeconds += iterSum / float64(len(res.Records))
+			}
+			out.MeanMakespan += makespan
+			out.MeanJCT += res.Summary.MeanJCT.Seconds()
+			out.MeanCollisionSeconds += res.LinkCollisionSeconds
+		}
+		out.MeanThroughput /= placeSeeds
+		out.MeanIterSeconds /= placeSeeds
+		out.MeanMakespan /= placeSeeds
+		out.MeanJCT /= placeSeeds
+		out.MeanCollisionSeconds /= placeSeeds
+		return out, nil
+	}
+
+	var err error
+	if report.Baseline, err = measure(false); err != nil {
+		return err
+	}
+	if report.NetAware, err = measure(true); err != nil {
+		return err
+	}
+	if report.Baseline.MeanThroughput > 0 {
+		report.ThroughputSpeedup = report.NetAware.MeanThroughput / report.Baseline.MeanThroughput
+	}
+	if report.Baseline.MeanIterSeconds > 0 {
+		report.IterTimeRatio = report.NetAware.MeanIterSeconds / report.Baseline.MeanIterSeconds
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n  %-9s %16s %12s %12s %10s %12s %9s\n",
+		"MODE", "ITERS/1000s", "T_ITR(s)", "MAKESPAN(s)", "JCT(s)", "COLLIDED(s)", "DONE")
+	for _, r := range []placeArmResult{report.Baseline, report.NetAware} {
+		fmt.Printf("  %-9s %16.1f %12.1f %12.0f %10.0f %12.0f %6d/%d\n",
+			r.Mode, r.MeanThroughput, r.MeanIterSeconds, r.MeanMakespan, r.MeanJCT,
+			r.MeanCollisionSeconds, r.Completed, placeSeeds*placeJobs)
+	}
+	fmt.Printf("\n  aggregate throughput net-aware/baseline: %.2fx (mean T_itr ratio %.2fx)\n",
+		report.ThroughputSpeedup, report.IterTimeRatio)
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

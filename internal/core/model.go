@@ -35,14 +35,27 @@ type JobInfo struct {
 	// JVMHeapFactor inflates raw data sizes to heap footprints; zero
 	// means raw sizes are used as-is.
 	JVMHeapFactor float64
+	// CompFloor is the serial, non-parallelizable part of the COMP
+	// subtask in seconds per iteration, fitted from observations at
+	// multiple DoPs (Synergy-style sensitivity). Jobs with a large floor
+	// gain little from extra machines, so the water-filling allocation
+	// hands their machines to more scalable jobs. Zero reproduces Eq. 2
+	// exactly.
+	CompFloor float64
+	// PullFrac is the PULL share of Net, splitting the per-iteration
+	// comm seconds into a PULL window at the start of the cycle and a
+	// PUSH window at the end; the interleaving solver places both on the
+	// shared link. Zero means an even split.
+	PullFrac float64
 }
 
-// TcpuAt predicts the COMP subtask seconds at DoP m (Eq. 2).
+// TcpuAt predicts the COMP subtask seconds at DoP m (Eq. 2, plus the
+// fitted serial floor when multi-DoP profiles revealed one).
 func (j JobInfo) TcpuAt(m int) float64 {
 	if m < 1 {
 		m = 1
 	}
-	return j.Comp / float64(m)
+	return j.Comp/float64(m) + j.CompFloor
 }
 
 // IterAt predicts the job's own iteration seconds at DoP m

@@ -40,6 +40,41 @@ func TestScheduleParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestScheduleParallelMatchesSequentialNetModel extends the determinism
+// contract to the net-aware scheduler: the collision-cost window pick,
+// the finalist-based swap re-scoring, and the compatibility score term
+// must all be independent of Options.Parallelism.
+func TestScheduleParallelMatchesSequentialNetModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	// Smaller instances than the base test: the collision solver makes
+	// each evalPrefix meaningfully heavier, and the property is about
+	// determinism, not scale.
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(80)
+		machines := 1 + rng.Intn(160)
+		jobs := randomJobs(rng, n)
+		for i := range jobs {
+			jobs[i].PullFrac = rng.Float64()
+			if trial%2 == 0 {
+				jobs[i].CompFloor = rng.Float64() * 2
+			}
+		}
+		opts := Options{Parallelism: 1, NetModel: true}
+		if trial%4 == 0 {
+			opts.MaxJobsPerGroup = 1 + rng.Intn(5)
+		}
+		want := Schedule(jobs, machines, opts).String()
+		for _, par := range []int{2, 4, 8} {
+			opts.Parallelism = par
+			got := Schedule(jobs, machines, opts).String()
+			if got != want {
+				t.Fatalf("trial %d (n=%d machines=%d): NetModel Parallelism=%d diverged\nseq: %s\npar: %s",
+					trial, n, machines, par, want, got)
+			}
+		}
+	}
+}
+
 // TestBestGroupCountTernaryMatchesLinear checks the ternary search used
 // for maxG > 64 against an exhaustive scan. Plateaus in the cost curve can
 // make the two pick different-but-equally-good counts, so the property

@@ -25,6 +25,14 @@ type Options struct {
 	// DisableSwapTuning skips the swap-based fine-tuning step of §IV-B3,
 	// for the design ablation.
 	DisableSwapTuning bool
+	// NetModel replaces Eq. 1's aggregate-bandwidth view of a group's
+	// network with the link-contention model: grouping decisions account
+	// for whether co-located jobs' PULL/PUSH bursts can interleave on
+	// the shared link (see interleave.go), and comm seconds the solver
+	// predicts will collide are discounted from the network-utilization
+	// score. Off by default; plans are bit-identical to the paper's
+	// model when false.
+	NetModel bool
 	// Parallelism bounds the worker pool evaluating Algorithm 1's
 	// candidate prefixes and widenForMemory's group-count retries. Zero
 	// selects runtime.GOMAXPROCS(0); 1 runs the exact single-threaded
@@ -46,9 +54,24 @@ func (o Options) withDefaults() Options {
 }
 
 // Score collapses a plan's utilization vector to a scalar objective using
-// the CPU-preferring weights.
+// the CPU-preferring weights. With NetModel on, each group's network term
+// is discounted by its link compatibility: comm seconds predicted to
+// collide on the shared link are occupancy, not useful utilization.
 func (o Options) Score(p Plan) float64 {
 	o = o.withDefaults()
+	if o.NetModel {
+		var wc, wn, m float64
+		for _, g := range p.Groups {
+			uc, un := g.Util()
+			wc += float64(g.Machines) * uc
+			wn += float64(g.Machines) * un * GroupCompatibility(g)
+			m += float64(g.Machines)
+		}
+		if m == 0 {
+			return 0
+		}
+		return o.CPUWeight*wc/m + (1-o.CPUWeight)*wn/m
+	}
 	uc, un := p.Util()
 	return o.CPUWeight*uc + (1-o.CPUWeight)*un
 }
@@ -161,9 +184,9 @@ type prefixCandidate struct {
 func evalPrefix(jobs []JobInfo, nj, machines int, opts Options) prefixCandidate {
 	toGroup := jobs[:nj]
 	nG := bestGroupCount(toGroup, machines, opts)
-	groups := assignJobs(toGroup, nG, machines)
+	groups := assignJobs(toGroup, nG, machines, opts)
 	if !opts.DisableSwapTuning {
-		fineTune(groups)
+		fineTune(groups, opts)
 	}
 	allocateMachines(groups, machines)
 	cand := Plan{Groups: groups}
@@ -252,7 +275,12 @@ func bestGroupCount(jobs []JobInfo, machines int, opts Options) int {
 // remaining set shifts only the scanned window — at most 32 elements —
 // instead of the whole tail, so one assignment pass is O(n log n + n·w)
 // rather than O(n²).
-func assignJobs(jobs []JobInfo, nG, machines int) []Group {
+//
+// With Options.NetModel on, each candidate is additionally charged the
+// comm seconds the interleaving solver predicts would collide on the
+// group's shared link were the candidate added — so the window pick
+// prefers jobs whose PULL/PUSH bursts fit the group's idle link windows.
+func assignJobs(jobs []JobInfo, nG, machines int, opts Options) []Group {
 	if nG < 1 {
 		nG = 1
 	}
@@ -277,6 +305,7 @@ func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 	for i := range groups {
 		groups[i].Machines = m // provisional; allocateMachines finalizes
 	}
+	var scratch []JobInfo // candidate group membership for the net model
 	head := 0
 	for gi := range groups {
 		// Even split: earlier groups absorb the remainder.
@@ -307,6 +336,11 @@ func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 				for c := 0; c < window; c++ {
 					ji := rem[head+c]
 					v := math.Abs(imb + tcpu[ji] - jobs[ji].Net)
+					if opts.NetModel {
+						scratch = append(scratch[:0], groups[gi].Jobs...)
+						scratch = append(scratch, jobs[ji])
+						v += collisionSeconds(scratch, m)
+					}
 					if v < bestImb {
 						bestImb = v
 						pick = c
@@ -330,7 +364,7 @@ func assignJobs(jobs []JobInfo, nG, machines int) []Group {
 //
 // Group imbalances are cached across rounds; a swap invalidates exactly
 // the two groups it touched.
-func fineTune(groups []Group) {
+func fineTune(groups []Group, opts Options) {
 	if len(groups) < 2 {
 		return
 	}
@@ -367,7 +401,7 @@ func fineTune(groups []Group) {
 		if !found {
 			return
 		}
-		if !trySwap(&groups[src], &groups[dst]) {
+		if !trySwap(&groups[src], &groups[dst], opts) {
 			return
 		}
 		imb[src] = groups[src].Imbalance()
@@ -380,7 +414,12 @@ func fineTune(groups []Group) {
 // strictly improves. Each job's imbalance contribution at both groups'
 // DoPs is computed once up front, leaving only additions inside the
 // pair loop.
-func trySwap(a, b *Group) bool {
+//
+// With Options.NetModel on, the objective additionally includes each
+// group's predicted collided comm seconds. The interleaving solver is too
+// expensive to run per pair, so the pair loop keeps the cheapest few
+// pairs by imbalance and only those finalists pay for a solve.
+func trySwap(a, b *Group, opts Options) bool {
 	imbA, imbB := a.Imbalance(), b.Imbalance()
 	current := math.Abs(imbA) + math.Abs(imbB)
 	da := make([]float64, len(a.Jobs))    // ja's contribution at a's DoP
@@ -395,18 +434,76 @@ func trySwap(a, b *Group) bool {
 		db[j] = jb.TcpuAt(b.Machines) - jb.Net
 		dbInA[j] = jb.TcpuAt(a.Machines) - jb.Net
 	}
+	pairCost := func(i, j int) float64 {
+		// Swapping moves ja's contribution out of a and jb's in,
+		// evaluated at each group's own DoP.
+		newA := imbA - da[i] + dbInA[j]
+		newB := imbB - db[j] + daInB[i]
+		return math.Abs(newA) + math.Abs(newB)
+	}
+	if opts.NetModel {
+		return trySwapNetModel(a, b, current, pairCost)
+	}
 	bestI, bestJ, bestCost := -1, -1, current
 	for i := range a.Jobs {
 		for j := range b.Jobs {
-			// Swapping moves ja's contribution out of a and jb's in,
-			// evaluated at each group's own DoP.
-			newA := imbA - da[i] + dbInA[j]
-			newB := imbB - db[j] + daInB[i]
-			cost := math.Abs(newA) + math.Abs(newB)
-			if cost < bestCost-1e-12 {
+			if cost := pairCost(i, j); cost < bestCost-1e-12 {
 				bestCost = cost
 				bestI, bestJ = i, j
 			}
+		}
+	}
+	if bestI < 0 {
+		return false
+	}
+	a.Jobs[bestI], b.Jobs[bestJ] = b.Jobs[bestJ], a.Jobs[bestI]
+	return true
+}
+
+// swapFinalists bounds the number of candidate pairs that pay for an
+// interleave solve per trySwap call under the net model.
+const swapFinalists = 8
+
+// trySwapNetModel is trySwap's net-model objective: combined imbalance
+// plus both groups' predicted collided comm seconds. The best
+// swapFinalists pairs by imbalance (deterministic ties: lower i, then j)
+// are re-scored with the solver; the swap applies only on strict
+// improvement over the current configuration's full cost.
+func trySwapNetModel(a, b *Group, currentImb float64, pairCost func(i, j int) float64) bool {
+	type cand struct {
+		i, j int
+		imb  float64
+	}
+	finalists := make([]cand, 0, swapFinalists+1)
+	for i := range a.Jobs {
+		for j := range b.Jobs {
+			c := cand{i, j, pairCost(i, j)}
+			at := len(finalists)
+			for at > 0 && finalists[at-1].imb > c.imb+1e-12 {
+				at--
+			}
+			if at < swapFinalists {
+				finalists = append(finalists, cand{})
+				copy(finalists[at+1:], finalists[at:])
+				finalists[at] = c
+				if len(finalists) > swapFinalists {
+					finalists = finalists[:swapFinalists]
+				}
+			}
+		}
+	}
+	current := currentImb + collisionSeconds(a.Jobs, a.Machines) + collisionSeconds(b.Jobs, b.Machines)
+	ja := make([]JobInfo, len(a.Jobs))
+	jb := make([]JobInfo, len(b.Jobs))
+	bestI, bestJ, bestCost := -1, -1, current
+	for _, c := range finalists {
+		copy(ja, a.Jobs)
+		copy(jb, b.Jobs)
+		ja[c.i], jb[c.j] = jb[c.j], ja[c.i]
+		cost := c.imb + collisionSeconds(ja, a.Machines) + collisionSeconds(jb, b.Machines)
+		if cost < bestCost-1e-12 {
+			bestCost = cost
+			bestI, bestJ = c.i, c.j
 		}
 	}
 	if bestI < 0 {
@@ -531,9 +628,9 @@ func widenForMemory(jobs []JobInfo, machines int, opts Options) []Group {
 // widenAttempt builds the grouping at one candidate group count and
 // reports it if memory-feasible.
 func widenAttempt(jobs []JobInfo, nG, machines int, opts Options) []Group {
-	groups := assignJobs(jobs, nG, machines)
+	groups := assignJobs(jobs, nG, machines, opts)
 	if !opts.DisableSwapTuning {
-		fineTune(groups)
+		fineTune(groups, opts)
 	}
 	allocateMachines(groups, machines)
 	if opts.feasible(Plan{Groups: groups}) {

@@ -161,7 +161,7 @@ func TestAssignJobsKeepsLargeJobsTogether(t *testing.T) {
 		job("big1", 4000, 200), job("small1", 100, 10),
 		job("big2", 4200, 210), job("small2", 120, 12),
 	}
-	groups := assignJobs(jobs, 2, 16)
+	groups := assignJobs(jobs, 2, 16, Options{})
 	if len(groups) != 2 {
 		t.Fatalf("got %d groups", len(groups))
 	}
@@ -187,7 +187,7 @@ func TestAssignJobsKeepsLargeJobsTogether(t *testing.T) {
 func TestAssignJobsEvenSplit(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	jobs := randomJobs(rng, 10)
-	groups := assignJobs(jobs, 3, 30)
+	groups := assignJobs(jobs, 3, 30, Options{})
 	sizes := []int{len(groups[0].Jobs), len(groups[1].Jobs), len(groups[2].Jobs)}
 	sort.Ints(sizes)
 	if sizes[0] < 3 || sizes[2] > 4 {
@@ -204,7 +204,7 @@ func TestFineTuneReducesImbalance(t *testing.T) {
 		{Machines: 8, Jobs: []JobInfo{job("n1", 80, 190), job("n2", 80, 190)}},
 	}
 	before := math.Abs(groups[0].Imbalance()) + math.Abs(groups[1].Imbalance())
-	fineTune(groups)
+	fineTune(groups, Options{})
 	after := math.Abs(groups[0].Imbalance()) + math.Abs(groups[1].Imbalance())
 	if after >= before {
 		t.Errorf("fineTune imbalance %.1f -> %.1f, want reduction", before, after)
@@ -213,7 +213,7 @@ func TestFineTuneReducesImbalance(t *testing.T) {
 
 func TestFineTuneSingleGroupNoop(t *testing.T) {
 	groups := []Group{{Machines: 4, Jobs: []JobInfo{job("a", 100, 10)}}}
-	fineTune(groups) // must not panic or mutate
+	fineTune(groups, Options{}) // must not panic or mutate
 	if len(groups[0].Jobs) != 1 {
 		t.Error("single-group fine-tune mutated jobs")
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"harmony/internal/core"
@@ -224,7 +225,7 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 	}
 	m.qcLocked(queue).admitted++
 	m.mu.Unlock()
-	m.journal.append(predictedFrom(Event{Kind: kind, Job: spec.Name, Group: group}, predicted))
+	m.journal.append(m.predictedEvent(Event{Kind: kind, Job: spec.Name, Group: group}, predicted))
 	if err := m.submitPending(p, group); err != nil {
 		return Admission{}, err
 	}
@@ -282,6 +283,14 @@ func (m *Master) jobInfoLocked(name string, j *job) core.JobInfo {
 	if met, ok := m.profiles.Metrics(name); ok && met.Profiled() {
 		info.Comp = met.CompMachineSeconds
 		info.Net = met.NetSeconds
+	}
+	// The fitted serial floor (Synergy-style sensitivity) only feeds the
+	// model when the net-aware scheduler is on: with it off, TcpuAt must
+	// reproduce Eq. 2 exactly.
+	if m.opts.NetModel {
+		if s, ok := m.profiles.Sensitivity(name); ok && s.Fitted() {
+			info.CompFloor = s.CompFloorSeconds
+		}
 	}
 	return info
 }
@@ -357,7 +366,7 @@ func (m *Master) drainQueue() {
 			kind = EventResume
 			note = fmt.Sprintf("resume from checkpoint iteration %d", p.resumeIter-1)
 		}
-		m.journal.append(predictedFrom(
+		m.journal.append(m.predictedEvent(
 			Event{Kind: kind, Job: p.spec.Name, Group: group, Note: note}, predicted))
 		if err := m.submitPending(p, group); err != nil {
 			// Deployment raced a worker failure or shutdown; requeue and
@@ -558,10 +567,22 @@ func (m *Master) Job(name string) (JobView, bool) {
 }
 
 // GroupView is one live co-location group: the worker set and the jobs
-// sharing it.
+// sharing it. When the net-aware scheduler is on, the interleaving
+// fields expose the solved comm phases (DESIGN.md §14).
 type GroupView struct {
 	Workers []string
 	Jobs    []string
+	// Interleaved marks a multi-job group whose comm phases were solved;
+	// the fields below are only meaningful when it is true.
+	Interleaved bool
+	// Compatibility is the group's predicted link compatibility in [0,1]
+	// (1 = comm windows fully interleave), calibrated against measured
+	// COMP/COMM overlap once trace scrapes accumulate.
+	Compatibility float64
+	// PhasePeriodSeconds is the solved circle period (the group's Eq. 1
+	// iteration time); PhaseOffsets maps job → comm-phase offset seconds.
+	PhasePeriodSeconds float64
+	PhaseOffsets       map[string]float64
 }
 
 // ClusterView is the control plane's cluster status: registered workers,
@@ -585,6 +606,23 @@ func (m *Master) Cluster() ClusterView {
 		gv := GroupView{Workers: members[gi]}
 		for _, j := range g.Jobs {
 			gv.Jobs = append(gv.Jobs, j.ID)
+		}
+		if m.opts.NetModel && len(g.Jobs) > 1 {
+			il := core.SolveInterleave(g.Jobs, g.Machines)
+			gv.Interleaved = true
+			gv.Compatibility = il.Compatibility
+			gv.PhasePeriodSeconds = il.Period
+			gv.PhaseOffsets = make(map[string]float64, len(g.Jobs))
+			for ji, j := range g.Jobs {
+				gv.PhaseOffsets[j.ID] = il.Offsets[ji]
+			}
+			// Prefer the measurement-calibrated compatibility once trace
+			// scrapes have fed the EWMA (interleave.go).
+			label := append([]string(nil), members[gi]...)
+			sort.Strings(label)
+			if gp := m.phases[strings.Join(label, ",")]; gp != nil && gp.calibrated > 0 {
+				gv.Compatibility = gp.calibrated
+			}
 		}
 		cv.Groups = append(cv.Groups, gv)
 	}

@@ -29,6 +29,11 @@ const (
 	// replay can reconstruct queue state without guessing whether the
 	// canceled name ever held workers.
 	EventCancelHeld = "cancel_held"
+	// EventRecalibrate records the interleaving feedback loop (DESIGN.md
+	// §14) folding a measured COMP/COMM overlap ratio into a group's
+	// predicted link compatibility — the compatibility analogue of the
+	// predicted-vs-measured T_itr/U stamps.
+	EventRecalibrate = "compat_recalibrate"
 )
 
 // Event is one scheduler decision: what the master did with a job, the
@@ -58,7 +63,13 @@ type Event struct {
 	MeasuredIterSeconds float64 `json:"measured_iter_seconds,omitempty"`
 	MeasuredCPUUtil     float64 `json:"measured_cpu_util,omitempty"`
 	MeasuredNetUtil     float64 `json:"measured_net_util,omitempty"`
-	Note                string  `json:"note,omitempty"`
+	// Compatibility stamps, present only under Options.NetModel: the
+	// interleaving solver's predicted link compatibility for the group
+	// the decision placed the job on, and the value recalibrated from
+	// the measured overlap ratio (recalibrate events).
+	PredictedCompatibility float64 `json:"predicted_compatibility,omitempty"`
+	MeasuredCompatibility  float64 `json:"measured_compatibility,omitempty"`
+	Note                   string  `json:"note,omitempty"`
 }
 
 // DefaultJournalCapacity bounds journal retention; older events are
@@ -111,11 +122,36 @@ func (l *journal) snapshot() []Event {
 	return out
 }
 
-// predictedFrom fills the event's predicted fields from a model group.
-func predictedFrom(e Event, g core.Group) Event {
+// predictedEvent is the one stamping helper shared by every decision
+// path that journals a placement (admit, queue drain, migrate, recover,
+// ps_rebalance, ps_resize): it fills the Eq. 1/Eq. 3 predictions and,
+// under the net model, the group's predicted link compatibility.
+func (m *Master) predictedEvent(e Event, g core.Group) Event {
 	e.PredictedIterSeconds = g.IterSeconds()
 	e.PredictedCPUUtil, e.PredictedNetUtil = g.Util()
+	if m.opts.NetModel {
+		e.PredictedCompatibility = core.GroupCompatibility(g)
+	}
 	return e
+}
+
+// stampJobPlacementLocked fills the event's predicted fields for the
+// group e.Job currently occupies in the live plan, returning e unchanged
+// when the job has no placement. Caller holds m.mu.
+func (m *Master) stampJobPlacementLocked(e Event) Event {
+	plan, _ := m.livePlanLocked()
+	if gi, ok := plan.FindJob(e.Job); ok {
+		e = m.predictedEvent(e, plan.Groups[gi])
+	}
+	return e
+}
+
+// stampJobPlacement is stampJobPlacementLocked for callers that do not
+// hold m.mu (the parameter-service paths journal after their RPC fan-out).
+func (m *Master) stampJobPlacement(e Event) Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stampJobPlacementLocked(e)
 }
 
 // measuredLocked reports the job's measured iteration seconds and its

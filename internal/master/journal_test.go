@@ -44,7 +44,8 @@ func TestJournalPredictedFrom(t *testing.T) {
 		},
 		Machines: 2,
 	}
-	e := predictedFrom(Event{Kind: EventAdmitArrival, Job: "b"}, g)
+	m := &Master{}
+	e := m.predictedEvent(Event{Kind: EventAdmitArrival, Job: "b"}, g)
 	if e.PredictedIterSeconds != g.IterSeconds() {
 		t.Errorf("predicted T_itr = %v, want %v", e.PredictedIterSeconds, g.IterSeconds())
 	}
@@ -55,6 +56,14 @@ func TestJournalPredictedFrom(t *testing.T) {
 	}
 	if e.PredictedIterSeconds <= 0 {
 		t.Error("prediction should be positive for a non-empty group")
+	}
+	if e.PredictedCompatibility != 0 {
+		t.Errorf("NetModel off: compatibility stamp = %v, want 0", e.PredictedCompatibility)
+	}
+	mn := &Master{opts: core.Options{NetModel: true}}
+	e = mn.predictedEvent(Event{Kind: EventAdmitArrival, Job: "b"}, g)
+	if want := core.GroupCompatibility(g); e.PredictedCompatibility != want {
+		t.Errorf("NetModel on: compatibility stamp = %v, want %v", e.PredictedCompatibility, want)
 	}
 }
 

@@ -170,6 +170,10 @@ type Master struct {
 	journal *journal
 	trace   *traceState
 
+	// phases caches solved comm-interleaving state per live co-location
+	// group (interleave.go); only populated when opts.NetModel is on.
+	phases map[string]*groupPhase
+
 	// Hot-stripe rebalancer state (psstats.go): the balancer has its own
 	// lock so scrape rounds never hold Master.mu across RPCs. psOpMu
 	// serializes rebalance rounds with ResizeJobServers — a round planned
@@ -192,6 +196,7 @@ func New(addr string, opts core.Options) (*Master, error) {
 		journal:   newJournal(DefaultJournalCapacity),
 		fairsched: fair.Default(),
 		qcounters: make(map[string]*queueCounters),
+		phases:    make(map[string]*groupPhase),
 	}
 	m.srv.Handle("master.register", rpc.Typed(m.handleRegister))
 	m.srv.Handle(worker.MethodBarrier, rpc.Typed(m.handleBarrier))
@@ -481,14 +486,27 @@ func (m *Master) handleBarrier(a worker.BarrierArgs) (worker.BarrierReply, error
 		j.pauseRequested = false
 		close(j.pausedCh)
 	}
+	// The barrier entry is deleted under the lock BEFORE the staggered
+	// release below: once gone, Close and RemoveWorker can no longer see
+	// these waiters, so the post-sleep sends are the only sends.
 	delete(j.barriers, a.Iteration)
 	if d == worker.Continue {
 		m.maybeCheckpoint(j, a.Iteration)
 	}
-	for _, ch := range bs.waiters {
+	var stagger time.Duration
+	if d == worker.Continue {
+		// CASSINI-style phase enforcement (interleave.go): hold the whole
+		// group briefly so its next comm windows land on the solved offset.
+		stagger = m.phaseDelayLocked(a.Job, now)
+	}
+	waiters := bs.waiters
+	m.mu.Unlock()
+	if stagger > 0 {
+		time.Sleep(stagger)
+	}
+	for _, ch := range waiters {
 		ch <- d
 	}
-	m.mu.Unlock()
 	return worker.BarrierReply{Directive: d}, nil
 }
 
@@ -621,12 +639,7 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 	m.counters.migrations++
 	// Journal the migration with the model's prediction for the group the
 	// job now joins; the measured EWMA restarts on the new placement.
-	ev := Event{Kind: EventMigrate, Job: name, Group: group}
-	if plan, _ := m.livePlanLocked(); len(plan.Groups) > 0 {
-		if gi, found := plan.FindJob(name); found {
-			ev = predictedFrom(ev, plan.Groups[gi])
-		}
-	}
+	ev := m.stampJobPlacementLocked(Event{Kind: EventMigrate, Job: name, Group: group})
 	j.measIter = 0
 	j.lastRelease = time.Time{}
 	m.mu.Unlock()

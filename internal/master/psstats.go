@@ -108,6 +108,7 @@ func (m *Master) RebalancePS(opts ps.PlanOptions) ([]ps.Move, int, error) {
 	ev := Event{Kind: EventPSRebalance, Note: describeMoves(moves, done)}
 	if job, same := singleJob(moves); same {
 		ev.Job = job
+		ev = m.stampJobPlacement(ev)
 	}
 	if execErr != nil {
 		ev.Note += "; error: " + execErr.Error()
@@ -246,8 +247,8 @@ func (m *Master) ResizeJobServers(name string, group []string) error {
 		}
 	}
 	sort.Strings(group)
-	ev := Event{Kind: EventPSResize, Job: name, Group: group,
-		Note: fmt.Sprintf("servers %d -> %d, %d stripes drained", len(oldSet), len(newSet), moved)}
+	ev := m.stampJobPlacement(Event{Kind: EventPSResize, Job: name, Group: group,
+		Note: fmt.Sprintf("servers %d -> %d, %d stripes drained", len(oldSet), len(newSet), moved)})
 	if firstErr != nil {
 		ev.Note += "; error: " + firstErr.Error()
 	}

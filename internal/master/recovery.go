@@ -164,13 +164,9 @@ func (m *Master) RecoverJob(name string, group []string) error {
 	j.psServers = nil // deploy rebuilds model partitions on the new group
 	j.epoch++         // stragglers of the failed placement are now stale
 	m.counters.recoveries++
-	ev := Event{Kind: EventRecover, Job: name, Group: m.workerNamesLocked(j),
-		Note: fmt.Sprintf("restart from checkpoint iteration %d", j.checkpointIter)}
-	if plan, _ := m.livePlanLocked(); len(plan.Groups) > 0 {
-		if gi, found := plan.FindJob(name); found {
-			ev = predictedFrom(ev, plan.Groups[gi])
-		}
-	}
+	ev := m.stampJobPlacementLocked(Event{Kind: EventRecover, Job: name,
+		Group: m.workerNamesLocked(j),
+		Note:  fmt.Sprintf("restart from checkpoint iteration %d", j.checkpointIter)})
 	j.measIter = 0
 	j.lastRelease = time.Time{}
 	m.mu.Unlock()

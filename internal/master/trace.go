@@ -162,5 +162,10 @@ func (m *Master) MeasuredOverlap() map[string]float64 {
 	if spans == nil {
 		return nil
 	}
-	return obs.OverlapByGroup(spans)
+	ratio, ok := obs.OverlapByGroup(spans)
+	// Each scrape doubles as a calibration sample for the interleaving
+	// layer: measured overlap recalibrates predicted compatibility
+	// (no-op when the net model is off).
+	m.recalibrateInterleave(ratio, ok)
+	return ratio
 }

@@ -118,7 +118,13 @@ func WriteChromeTrace(w io.Writer, spans []TaggedSpan) error {
 // For each machine of a group, the union of COMP intervals is
 // intersected with the union of PULL/PUSH intervals; the ratio is
 // Σ intersections / Σ unions of all subtask activity.
-func OverlapByGroup(spans []TaggedSpan) map[string]float64 {
+//
+// The second return distinguishes "no overlap" from "no data": ok[g] is
+// true only when group g has spans in both phase classes, i.e. a
+// measured zero. Consumers recalibrating predictions (the interleaving
+// feedback loop) must skip groups with ok false rather than treat their
+// 0 as a measurement.
+func OverlapByGroup(spans []TaggedSpan) (ratio map[string]float64, ok map[string]bool) {
 	type key struct{ group, machine string }
 	comp := make(map[key][]ival)
 	comm := make(map[key][]ival)
@@ -133,6 +139,8 @@ func OverlapByGroup(spans []TaggedSpan) map[string]float64 {
 	}
 	overlap := make(map[string]int64)
 	busy := make(map[string]int64)
+	hasComp := make(map[string]bool)
+	hasComm := make(map[string]bool)
 	keys := make(map[key]bool)
 	for k := range comp {
 		keys[k] = true
@@ -143,18 +151,26 @@ func OverlapByGroup(spans []TaggedSpan) map[string]float64 {
 	for k := range keys {
 		cu := mergeIvals(comp[k])
 		nu := mergeIvals(comm[k])
+		if lenIvals(cu) > 0 {
+			hasComp[k.group] = true
+		}
+		if lenIvals(nu) > 0 {
+			hasComm[k.group] = true
+		}
 		overlap[k.group] += intersectSeconds(cu, nu)
 		busy[k.group] += lenIvals(mergeIvals(append(cu, nu...)))
 	}
-	out := make(map[string]float64, len(busy))
+	ratio = make(map[string]float64, len(busy))
+	ok = make(map[string]bool, len(busy))
 	for g, b := range busy {
 		if b > 0 {
-			out[g] = float64(overlap[g]) / float64(b)
+			ratio[g] = float64(overlap[g]) / float64(b)
 		} else {
-			out[g] = 0
+			ratio[g] = 0
 		}
+		ok[g] = b > 0 && hasComp[g] && hasComm[g]
 	}
-	return out
+	return ratio, ok
 }
 
 type ival struct{ s, e int64 }

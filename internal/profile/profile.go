@@ -59,6 +59,10 @@ type Store struct {
 	mu    sync.RWMutex
 	alpha float64
 	jobs  map[string]Metrics
+	// byDoP retains a moving average per (job, DoP) so the sensitivity
+	// fit (sensitivity.go) can compare COMP times across the DoPs the
+	// job actually ran at, not just the latest one.
+	byDoP map[string]map[int]dopStat
 }
 
 // NewStore creates a store with the given EWMA weight for new samples;
@@ -67,7 +71,11 @@ func NewStore(alpha float64) *Store {
 	if alpha <= 0 || alpha > 1 {
 		alpha = DefaultEWMAAlpha
 	}
-	return &Store{alpha: alpha, jobs: make(map[string]Metrics)}
+	return &Store{
+		alpha: alpha,
+		jobs:  make(map[string]Metrics),
+		byDoP: make(map[string]map[int]dopStat),
+	}
 }
 
 // Observe folds one iteration's measurements into the job's averages:
@@ -82,6 +90,18 @@ func (s *Store) Observe(jobID string, dop int, tcpu, tnet float64) error {
 	comp := tcpu * float64(dop) // normalize to machine-seconds via Eq. 2
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	perDoP := s.byDoP[jobID]
+	if perDoP == nil {
+		perDoP = make(map[int]dopStat)
+		s.byDoP[jobID] = perDoP
+	}
+	if st, ok := perDoP[dop]; ok {
+		st.Tcpu = s.alpha*tcpu + (1-s.alpha)*st.Tcpu
+		st.Samples++
+		perDoP[dop] = st
+	} else {
+		perDoP[dop] = dopStat{Tcpu: tcpu, Samples: 1}
+	}
 	m, ok := s.jobs[jobID]
 	if !ok {
 		s.jobs[jobID] = Metrics{CompMachineSeconds: comp, NetSeconds: tnet, DoP: dop, Samples: 1}
@@ -109,6 +129,7 @@ func (s *Store) Forget(jobID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.jobs, jobID)
+	delete(s.byDoP, jobID)
 }
 
 // Len reports the number of jobs with at least one observation.

@@ -134,6 +134,16 @@ type Config struct {
 	// experiment (Fig. 13a). Zero means faithful profiling.
 	MetricErrorFrac float64
 
+	// LinkContention enables the non-work-conserving shared-link physics
+	// (netmodel.go): comm subtasks of different jobs that drive the link
+	// concurrently lose CollisionLoss of aggregate goodput. Off by
+	// default — the primary/secondary discipline of §IV-A applies and
+	// existing runs are bit-identical.
+	LinkContention bool
+	// CollisionLoss is the goodput fraction burned per collision window
+	// (default DefaultCollisionLoss when LinkContention is on).
+	CollisionLoss float64
+
 	// OraclePlanner replaces Algorithm 1 with the exhaustive-search
 	// Oracle of §V-F (simulated annealing beyond its exact range): every
 	// scheduling trigger re-plans the whole running and waiting pool.
@@ -179,6 +189,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FixedAlpha == 0 && !c.hasFixedAlpha() {
 		c.FixedAlpha = AdaptiveAlpha
+	}
+	if c.CollisionLoss <= 0 || c.CollisionLoss >= 1 {
+		c.CollisionLoss = DefaultCollisionLoss
 	}
 	if c.NaiveGroupSize <= 0 {
 		c.NaiveGroupSize = 2

@@ -95,6 +95,16 @@ type groupRun struct {
 	periodEWMA  float64
 	periodNInit int
 	closed      bool
+
+	// Cached comm-interleaving solve (netmodel.go), valid while ilSig
+	// matches the member set; invalidated on addJob/removeJob.
+	ilSig     string
+	ilPeriod  float64
+	ilOffsets map[string]float64
+	ilAnchor  simtime.Time
+	// ilHeld marks members that already paid their one-time
+	// establishment hold under the current solve.
+	ilHeld map[string]bool
 }
 
 func (s *Simulator) newGroupRun(id string, machines int, pipelined bool) *groupRun {
@@ -102,9 +112,23 @@ func (s *Simulator) newGroupRun(id string, machines int, pipelined bool) *groupR
 	var cpuPolicy, netPolicy sharePolicy
 	if pipelined {
 		cpuPolicy = exclusivePolicy{}
-		if s.cfg.DisableSecondaryComm {
+		switch {
+		case s.cfg.LinkContention && s.cfg.SchedOpts.NetModel:
+			// Net-aware runtime enforcement of the solved interleaving:
+			// never launch a comm burst into an occupied link. Bursts
+			// dispatch FIFO — under a compatibility-1 schedule the solved
+			// offsets mean a burst always finds the link free, and when
+			// windows would have collided the burst waits instead of
+			// burning CollisionLoss of goodput (queueing delay <= the
+			// collision stretch, so this strictly dominates colliding).
 			netPolicy = exclusivePolicy{}
-		} else {
+		case s.cfg.LinkContention:
+			// Non-work-conserving shared link (netmodel.go): colliding
+			// comm windows from different jobs burn aggregate goodput.
+			netPolicy = linkContentionPolicy{loss: s.cfg.CollisionLoss}
+		case s.cfg.DisableSecondaryComm:
+			netPolicy = exclusivePolicy{}
+		default:
 			netPolicy = primarySecondaryPolicy{busyFraction: s.cfg.NetBusyFraction}
 		}
 	} else {
@@ -117,6 +141,9 @@ func (s *Simulator) newGroupRun(id string, machines int, pipelined bool) *groupR
 	g.net = newResource(s.eng, netPolicy, func(rate float64, from, to simtime.Time) {
 		s.util.AddBusyWeighted(metrics.Net, from, to, rate*float64(g.machines))
 	})
+	if s.cfg.LinkContention {
+		g.net.collided = &s.linkCollided
+	}
 	return g
 }
 
@@ -158,6 +185,7 @@ func (g *groupRun) addJob(j *jobRun, force bool) error {
 	j.phase = phaseIdle
 	j.lastCycleEnd = 0 // period measurements restart in the new group
 	g.jobs = append(g.jobs, j)
+	g.invalidateInterleave()
 	g.sim.initAlpha(j, g)
 	if !g.tryResolveMemory() {
 		if !force {
@@ -181,6 +209,7 @@ func (g *groupRun) removeJob(j *jobRun) {
 			break
 		}
 	}
+	g.invalidateInterleave()
 	j.group = nil
 	if len(g.jobs) == 0 {
 		g.closed = true
@@ -243,9 +272,29 @@ func (g *groupRun) tryResolveMemory() bool {
 	return g.occupancy() <= memmodel.GCOverheadLimitOccupancy
 }
 
-// startCycle begins one PULL-COMP-PUSH iteration for the job.
+// startCycle begins one PULL-COMP-PUSH iteration for the job, first
+// holding briefly when the net-aware scheduler solved a phase offset the
+// job has drifted off of (CASSINI-style interleaving, netmodel.go).
 func (g *groupRun) startCycle(j *jobRun) {
 	if g.closed {
+		return
+	}
+	if d := g.phaseDelay(j); d > 0 {
+		g.sim.eng.After(simtime.FromSeconds(d), func() { g.startCycleNow(j) })
+		return
+	}
+	g.startCycleNow(j)
+}
+
+// startCycleNow is startCycle past the phase stagger. The job may have
+// been paused out or migrated during the hold; it only cycles if it
+// still belongs here.
+func (g *groupRun) startCycleNow(j *jobRun) {
+	if g.closed || j.group != g {
+		return
+	}
+	if j.pauseRequested {
+		g.sim.applyPause(g, j)
 		return
 	}
 	now := g.sim.eng.Now()

@@ -187,6 +187,15 @@ func (s *Simulator) onProfiled(id string) {
 		est.Comp *= 1 + e*(2*s.rng.Float64()-1)
 		est.Net *= 1 + e*(2*s.rng.Float64()-1)
 	}
+	// Net-aware placement feeds the solver the PULL/PUSH split and the
+	// fitted serial COMP floor (Synergy-style sensitivity). Gated so the
+	// default scheduler reproduces Eq. 2 exactly.
+	if s.cfg.SchedOpts.NetModel {
+		est.PullFrac = sj.run.spec.PullFrac
+		if sens, ok := s.profiles.Sensitivity(id); ok && sens.Fitted() {
+			est.CompFloor = sens.CompFloorSeconds
+		}
+	}
 	s.estimates[id] = est
 
 	if s.bootstrapped {

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+)
+
+// This file is the simulator half of the network-aware placement layer
+// (DESIGN.md §14): a link-contention model that prices comm-window
+// collisions between co-located jobs, and the runtime enforcement of the
+// scheduler's CASSINI-style phase offsets (core.SolveInterleave) — an
+// establishment hold that staggers cycle starts onto the solved offsets
+// at every group (re)formation, plus a non-colliding link discipline
+// (group.go: comm bursts dispatch FIFO, never into an occupied link)
+// that keeps the separation against per-cycle jitter and churn.
+//
+// The fluid model shares one representative link per group. With the
+// default primary/secondary discipline that link is work-conserving, so
+// colliding comm windows cost nothing in aggregate and interleaving has
+// nothing to win. Real shared links are not work-conserving: concurrent
+// PULL/PUSH bursts from different jobs collide in switch queues, and the
+// retransmits/head-of-line blocking burn goodput (the congestion premise
+// of CASSINI). Config.LinkContention enables that physics.
+
+// DefaultCollisionLoss is the fraction of aggregate link goodput lost
+// while k >= 2 comm subtasks from different jobs drive the shared link
+// concurrently.
+const DefaultCollisionLoss = 0.25
+
+// linkContentionPolicy shares the link fairly among all active comm
+// subtasks but burns `loss` of the aggregate goodput whenever two or
+// more collide: k active tasks each progress at (1-loss)/k. The split is
+// symmetric on purpose — colliding jobs slow down together and stay
+// phase-locked, exactly the persistent interference interleaving exists
+// to break (an asymmetric split would let the loser slip behind the
+// winner and self-resolve).
+type linkContentionPolicy struct {
+	loss float64
+}
+
+func (linkContentionPolicy) maxActive() int { return 0 }
+func (p linkContentionPolicy) rates(out []float64) {
+	k := len(out)
+	if k == 0 {
+		return
+	}
+	r := 1.0
+	if k > 1 {
+		r = (1 - p.loss) / float64(k)
+	}
+	for i := range out {
+		out[i] = r
+	}
+}
+
+// LinkModel holds the capacities the network-aware placement reasons
+// about: each machine's NIC and the shared uplink a group's machines
+// funnel through (oversubscribed, as in a real leaf-spine fabric).
+type LinkModel struct {
+	// NICGbps is one machine's line rate.
+	NICGbps float64
+	// GroupGbps is the shared-link capacity available to one group of
+	// machines: machines x NIC / Oversubscription.
+	GroupGbps float64
+	// Oversubscription is the fabric's uplink oversubscription factor.
+	Oversubscription float64
+}
+
+// DefaultOversubscription matches a common 2:1 leaf-spine fabric.
+const DefaultOversubscription = 2.0
+
+// NewLinkModel derives link capacities for a group of machines of the
+// given shape. oversub <= 1 selects DefaultOversubscription.
+func NewLinkModel(spec cluster.MachineSpec, machines int, oversub float64) LinkModel {
+	if oversub <= 1 {
+		oversub = DefaultOversubscription
+	}
+	if machines < 1 {
+		machines = 1
+	}
+	return LinkModel{
+		NICGbps:          spec.NetGbps,
+		GroupGbps:        spec.NetGbps * float64(machines) / oversub,
+		Oversubscription: oversub,
+	}
+}
+
+// DemandCurve discretizes one job's predicted link demand (Gbps per
+// machine) over its group iteration into slots windows: PULL bytes flow
+// at the cycle start, PUSH bytes after COMP, matching the profiled
+// PULL/PUSH split and period. The curve integrates to the job's total
+// per-iteration traffic.
+func (lm LinkModel) DemandCurve(info core.JobInfo, machines, slots int) []float64 {
+	curve := make([]float64, slots)
+	period := groupPeriod([]core.JobInfo{info}, machines)
+	if period <= 0 || slots <= 0 {
+		return curve
+	}
+	pf := info.PullFrac
+	if pf <= 0 || pf >= 1 {
+		pf = 0.5
+	}
+	net := math.Min(info.Net, period)
+	pull := net * pf
+	push := net - pull
+	comp := info.TcpuAt(machines)
+	dt := period / float64(slots)
+	// Comm windows saturate the NIC while they run.
+	addWindow(curve, 0, pull, dt, lm.NICGbps, period)
+	addWindow(curve, pull+comp, push, dt, lm.NICGbps, period)
+	return curve
+}
+
+// addWindow accumulates gbps over [start, start+width) seconds of the
+// circular curve, fractionally at the edges. Slot indices walk as
+// integers — a float time accumulator can stall when the final sliver
+// rounds to no progress.
+func addWindow(curve []float64, start, width, dt, gbps, period float64) {
+	if width <= 0 || dt <= 0 || period <= 0 || len(curve) == 0 {
+		return
+	}
+	if width > period {
+		width = period
+	}
+	n := len(curve)
+	end := start + width
+	first := int(math.Floor(start / dt))
+	last := int(math.Ceil(end / dt))
+	for s := first; s < last; s++ {
+		lo := math.Max(start, float64(s)*dt)
+		hi := math.Min(end, float64(s+1)*dt)
+		if hi <= lo {
+			continue
+		}
+		curve[((s%n)+n)%n] += gbps * (hi - lo) / dt
+	}
+}
+
+// GroupDemand sums the member jobs' demand curves — the group's total
+// offered load per window against GroupGbps.
+func (lm LinkModel) GroupDemand(jobs []core.JobInfo, machines, slots int) []float64 {
+	total := make([]float64, slots)
+	for _, j := range jobs {
+		for i, v := range lm.DemandCurve(j, machines, slots) {
+			total[i] += v * float64(machines)
+		}
+	}
+	return total
+}
+
+// PredictGroupCompatibility scores how well the jobs' comm windows fit
+// the shared link under the solved interleaving: 1 = no window ever
+// exceeds capacity, lower = the excess share of total demand. It bridges
+// the byte-level capacities onto core's time-domain solver: windows
+// whose seconds-domain demand collides are exactly the windows whose
+// Gbps demand exceeds the shared link.
+func (lm LinkModel) PredictGroupCompatibility(jobs []core.JobInfo, machines int) float64 {
+	return core.SolveInterleave(jobs, machines).Compatibility
+}
+
+// groupPeriod is Eq. 1 over raw JobInfos (matches core.groupIterSeconds).
+func groupPeriod(jobs []core.JobInfo, machines int) float64 {
+	var sumComp, sumNet, maxIter float64
+	for _, j := range jobs {
+		sumComp += j.TcpuAt(machines)
+		sumNet += j.Net
+		if it := j.IterAt(machines); it > maxIter {
+			maxIter = it
+		}
+	}
+	return math.Max(maxIter, math.Max(sumComp, sumNet))
+}
+
+// interleaveInfo is the scheduler's view of a job for the phase solver:
+// the profiled estimate when one exists, the spec-derived ground truth
+// before that. PullFrac always rides along — the solver needs the
+// PULL/PUSH split to place windows.
+func (s *Simulator) interleaveInfo(j *jobRun) core.JobInfo {
+	info, ok := s.estimates[j.spec.ID]
+	if !ok {
+		info = core.JobInfo{
+			ID:   j.spec.ID,
+			Comp: j.spec.CompMachineSeconds,
+			Net:  j.spec.NetSeconds,
+		}
+	}
+	if info.PullFrac == 0 {
+		info.PullFrac = j.spec.PullFrac
+	}
+	return info
+}
+
+// phaseDelay computes how long to hold a job's cycle start so its comm
+// windows land on the group's solved phase offsets. The hold is paid
+// once per member per solve — the establishment payment of the CASSINI
+// circle: a group (re)formation starts every member in phase, and
+// without the stagger their first PULL bursts collide on the shared
+// link at full collision loss. Once established, the exclusive CPU
+// discipline (§IV-A) and the non-colliding link dispatch maintain the
+// separation, so steady-state cycles run unthrottled. Zero when the
+// net-aware scheduler is off or the job runs alone.
+func (g *groupRun) phaseDelay(j *jobRun) float64 {
+	s := g.sim
+	if !s.cfg.SchedOpts.NetModel || len(g.jobs) < 2 {
+		return 0
+	}
+	if g.ilSig == "" {
+		ids := make([]string, len(g.jobs))
+		for i, jj := range g.jobs {
+			ids[i] = jj.spec.ID
+		}
+		sort.Strings(ids)
+		infos := make([]core.JobInfo, len(g.jobs))
+		byID := make(map[string]*jobRun, len(g.jobs))
+		for _, jj := range g.jobs {
+			byID[jj.spec.ID] = jj
+		}
+		for i, id := range ids {
+			infos[i] = s.interleaveInfo(byID[id])
+		}
+		il := core.SolveInterleave(infos, g.machines)
+		g.ilSig = strings.Join(ids, ",")
+		g.ilPeriod = il.Period
+		g.ilOffsets = make(map[string]float64, len(ids))
+		// Normalize so the earliest slot starts immediately: the circle
+		// only fixes relative phases, and idling the whole group by the
+		// smallest offset would be pure waste.
+		min := math.Inf(1)
+		for _, off := range il.Offsets {
+			if off < min {
+				min = off
+			}
+		}
+		for i, id := range ids {
+			g.ilOffsets[id] = il.Offsets[i] - min
+		}
+		g.ilHeld = make(map[string]bool, len(ids))
+		g.ilAnchor = s.eng.Now()
+	}
+	if g.ilPeriod <= 0 || g.ilHeld[j.spec.ID] {
+		return 0
+	}
+	g.ilHeld[j.spec.ID] = true
+	now := s.eng.Now()
+	phase := math.Mod(now.Sub(g.ilAnchor).Seconds(), g.ilPeriod)
+	delay := g.ilOffsets[j.spec.ID] - phase
+	if delay < 0 {
+		delay += g.ilPeriod
+	}
+	return delay
+}
+
+// invalidateInterleave drops the cached phase solve; the next cycle
+// start re-solves against the new membership and every member pays a
+// fresh establishment hold.
+func (g *groupRun) invalidateInterleave() {
+	g.ilSig = ""
+	g.ilOffsets = nil
+	g.ilHeld = nil
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/workload"
+)
+
+// TestNewLinkModelCapacities pins the capacity derivation: the shared
+// link is the group's aggregate NIC rate divided by the fabric
+// oversubscription, with the 2:1 leaf-spine default.
+func TestNewLinkModelCapacities(t *testing.T) {
+	lm := NewLinkModel(cluster.M42XLarge, 100, 0)
+	if lm.NICGbps != cluster.M42XLarge.NetGbps {
+		t.Errorf("NIC = %v, want %v", lm.NICGbps, cluster.M42XLarge.NetGbps)
+	}
+	if lm.Oversubscription != DefaultOversubscription {
+		t.Errorf("oversub = %v, want default %v", lm.Oversubscription, DefaultOversubscription)
+	}
+	want := cluster.M42XLarge.NetGbps * 100 / DefaultOversubscription
+	if math.Abs(lm.GroupGbps-want) > 1e-9 {
+		t.Errorf("GroupGbps = %v, want %v", lm.GroupGbps, want)
+	}
+	// A 4:1 fabric halves the shared capacity again.
+	lm4 := NewLinkModel(cluster.M42XLarge, 100, 4)
+	if math.Abs(lm4.GroupGbps-want/2) > 1e-9 {
+		t.Errorf("4:1 GroupGbps = %v, want %v", lm4.GroupGbps, want/2)
+	}
+}
+
+// TestDemandCurveConservation: a job's windowed demand curve must
+// integrate to exactly its per-iteration traffic (NIC rate x comm
+// seconds) regardless of where the PULL/PUSH windows land — including
+// awkward float periods where a window edge sits within an ulp of a
+// slot boundary (regression: the window rasterizer used to stall there).
+func TestDemandCurveConservation(t *testing.T) {
+	lm := NewLinkModel(cluster.M42XLarge, 16, 0)
+	cases := []core.JobInfo{
+		{ID: "balanced", Comp: 1600, Net: 60, PullFrac: 0.5},
+		{ID: "pull-heavy", Comp: 900, Net: 200, PullFrac: 0.9},
+		{ID: "push-wraps", Comp: 53.259245040497234, Net: 41.7, PullFrac: 0.31},
+		{ID: "net-bound", Comp: 8, Net: 420, PullFrac: 0.55},
+		{ID: "tiny", Comp: 1e-6, Net: 1e-7, PullFrac: 0.5},
+	}
+	const slots = 64
+	for _, info := range cases {
+		curve := lm.DemandCurve(info, 16, slots)
+		if len(curve) != slots {
+			t.Fatalf("%s: %d slots, want %d", info.ID, len(curve), slots)
+		}
+		period := groupPeriod([]core.JobInfo{info}, 16)
+		dt := period / slots
+		var integral float64
+		for i, v := range curve {
+			if v < 0 {
+				t.Fatalf("%s: negative demand %v at slot %d", info.ID, v, i)
+			}
+			integral += v * dt
+		}
+		want := lm.NICGbps * math.Min(info.Net, period)
+		if math.Abs(integral-want) > 1e-6*math.Max(want, 1) {
+			t.Errorf("%s: curve integrates to %v Gbit, want %v", info.ID, integral, want)
+		}
+	}
+}
+
+// TestGroupDemandSums: the group curve is the members' curves scaled by
+// the machine count, so it integrates to the group's total traffic.
+func TestGroupDemandSums(t *testing.T) {
+	lm := NewLinkModel(cluster.M42XLarge, 16, 0)
+	jobs := []core.JobInfo{
+		{ID: "a", Comp: 930, Net: 200, PullFrac: 0.55},
+		{ID: "b", Comp: 1400, Net: 380, PullFrac: 0.55},
+	}
+	const slots = 64
+	total := lm.GroupDemand(jobs, 16, slots)
+	var integral float64
+	for _, v := range total {
+		if v < 0 {
+			t.Fatal("negative group demand")
+		}
+		integral += v
+	}
+	var want float64
+	for _, j := range jobs {
+		for _, v := range lm.DemandCurve(j, 16, slots) {
+			want += v * 16
+		}
+	}
+	if math.Abs(integral-want) > 1e-6*want {
+		t.Errorf("group demand %v, want %v (16x member sum)", integral, want)
+	}
+}
+
+// TestLinkContentionPolicyRates pins the contention physics: a lone comm
+// task gets the full link, k colliding tasks split (1-loss) evenly —
+// the symmetric split that keeps colliding jobs phase-locked.
+func TestLinkContentionPolicyRates(t *testing.T) {
+	p := linkContentionPolicy{loss: DefaultCollisionLoss}
+	if p.maxActive() != 0 {
+		t.Errorf("maxActive = %d, want 0 (unlimited)", p.maxActive())
+	}
+	one := make([]float64, 1)
+	p.rates(one)
+	if one[0] != 1 {
+		t.Errorf("solo rate = %v, want full link", one[0])
+	}
+	four := make([]float64, 4)
+	p.rates(four)
+	want := (1 - DefaultCollisionLoss) / 4
+	var agg float64
+	for i, r := range four {
+		if math.Abs(r-want) > 1e-12 {
+			t.Errorf("rate[%d] = %v, want %v", i, r, want)
+		}
+		agg += r
+	}
+	if math.Abs(agg-(1-DefaultCollisionLoss)) > 1e-12 {
+		t.Errorf("aggregate goodput %v, want %v", agg, 1-DefaultCollisionLoss)
+	}
+}
+
+// commHeavyJobs builds the contention scenario at test scale: the most
+// communication-intensive base jobs, shrunk so runs stay fast.
+func commHeavyJobs(n, iters int) []Job {
+	specs := workload.CommIntensive()[:n]
+	for i := range specs {
+		specs[i].Iterations = iters
+		specs[i].CompMachineSeconds /= 20
+		specs[i].NetSeconds /= 20
+		specs[i].Data.InputGB /= 10
+		specs[i].Data.ModelGB /= 10
+		specs[i].WorkGB /= 10
+	}
+	return Jobs(specs, nil)
+}
+
+// TestLinkContentionRunAtScale is the 100-machine end-to-end gate: with
+// the contention physics and the net-aware scheduler both on, a
+// comm-heavy batch completes, and the run is deterministic for a seed.
+func TestLinkContentionRunAtScale(t *testing.T) {
+	cfg := Config{
+		Machines:       100,
+		Mode:           ModeHarmony,
+		Seed:           11,
+		LinkContention: true,
+		SchedOpts:      core.Options{NetModel: true, MaxJobsPerGroup: 2},
+	}
+	a := mustRun(t, cfg, commHeavyJobs(12, 8))
+	if len(a.Failed) != 0 {
+		t.Fatalf("failures under contention: %v", a.Failed)
+	}
+	if len(a.Records) != 12 {
+		t.Fatalf("finished %d jobs, want 12", len(a.Records))
+	}
+	if a.Summary.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	b := mustRun(t, cfg, commHeavyJobs(12, 8))
+	if a.Summary.Makespan != b.Summary.Makespan || a.Summary.MeanJCT != b.Summary.MeanJCT {
+		t.Errorf("same seed diverged: makespan %v vs %v, mean JCT %v vs %v",
+			a.Summary.Makespan, b.Summary.Makespan, a.Summary.MeanJCT, b.Summary.MeanJCT)
+	}
+}
+
+// TestLinkContentionDefaultOff: the zero-value config must not take the
+// contention branch — existing runs stay bit-identical (determinism
+// contract of DESIGN.md §14).
+func TestLinkContentionDefaultOff(t *testing.T) {
+	base := mustRun(t, Config{Machines: 24, Mode: ModeHarmony, Seed: 4}, tinyJobs(6, 8))
+	again := mustRun(t, Config{Machines: 24, Mode: ModeHarmony, Seed: 4, CollisionLoss: 0.9}, tinyJobs(6, 8))
+	if base.Summary.Makespan != again.Summary.Makespan {
+		t.Error("CollisionLoss changed a run with LinkContention off")
+	}
+}

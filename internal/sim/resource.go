@@ -96,7 +96,12 @@ type resource struct {
 	last   simtime.Time
 	// onBusy integrates resource busy time: called with the busy rate
 	// that held over [from, to].
-	onBusy     func(busyRate float64, from, to simtime.Time)
+	onBusy func(busyRate float64, from, to simtime.Time)
+	// collided, when non-nil, accumulates seconds during which two or
+	// more tasks were active concurrently — on a link under the
+	// contention policy that is exactly the goodput-burning collision
+	// window the net-aware placement tries to avoid.
+	collided   *float64
 	completion *simtime.Event
 	// completeFn is the method value passed to the engine, bound once; a
 	// fresh r.complete per reschedule would allocate a closure each time.
@@ -143,6 +148,9 @@ func (r *resource) idle() bool { return len(r.active) == 0 && len(r.queue) == 0 
 func (r *resource) advance() {
 	now := r.eng.Now()
 	dt := now.Sub(r.last).Seconds()
+	if dt > 0 && len(r.active) > 1 && r.collided != nil {
+		*r.collided += dt
+	}
 	if dt > 0 && len(r.active) > 0 {
 		var busyRate float64
 		for _, t := range r.active {

@@ -112,6 +112,11 @@ type Result struct {
 	// PoolWaitSeconds accumulates job-time spent in the waiting pool
 	// (paused by a scheduling decision, not by migration).
 	PoolWaitSeconds float64
+	// LinkCollisionSeconds accumulates time during which two or more
+	// comm subtasks drove a shared group link concurrently under
+	// Config.LinkContention — the goodput-burning windows network-aware
+	// placement exists to shrink. Zero when LinkContention is off.
+	LinkCollisionSeconds float64
 
 	// MeanConcurrentJobs and MeanGroups are time-averaged over the run
 	// (§V-C reports 27.2 jobs in 6.7 groups).
@@ -172,9 +177,10 @@ type Simulator struct {
 	gcSeconds   float64
 	modelSpills int
 
-	pausedSince map[string]simtime.Time
-	pausedTotal float64
-	poolWait    float64
+	pausedSince  map[string]simtime.Time
+	pausedTotal  float64
+	poolWait     float64
+	linkCollided float64
 
 	runningCount   int
 	runningIntegr  float64
@@ -509,6 +515,8 @@ func (s *Simulator) buildResult() *Result {
 		ModelSpills:     s.modelSpills,
 		PausedSeconds:   s.pausedTotal,
 		PoolWaitSeconds: s.poolWait,
+
+		LinkCollisionSeconds: s.linkCollided,
 	}
 	res.Summary = metrics.Summarize(s.records, s.util)
 	if span := res.Summary.Makespan.Seconds(); span > 0 {
