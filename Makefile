@@ -5,10 +5,10 @@ GO ?= go
 VERSION ?= dev
 LDFLAGS := -ldflags "-X harmony/internal/obs.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair bench-place trace-demo
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke admit-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair bench-place bench-admit trace-demo
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke admit-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -74,6 +74,14 @@ obs-smoke:
 	$(GO) test -race -run 'TestExecutorRecordsSpans' ./internal/subtask/
 	$(GO) test -race -run 'TestTracedClusterOverHTTP' ./internal/ctl/
 
+## admit-smoke: race-enabled pass over the admission fast path — Scorer
+## bit-identity property tests, fast-vs-legacy decision parity on a live
+## cluster, zero-full-rescore regression, the coalescing drainer, and the
+## concurrent status-reader/enqueue-churn stress test
+admit-smoke:
+	$(GO) test -race -run 'TestScorer|TestIncrementalAdmissionBitIdentical|TestScoreDeltaAllocFree|TestRegroupAfterFinish' ./internal/core/
+	$(GO) test -race -run 'TestAdmit|TestWakeDrainerCoalesces|TestWorkerSetKeyOrder' ./internal/master/
+
 ## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
 bench-smoke:
 	$(GO) test ./internal/core/ -run XXX -bench BenchmarkScheduleLarge -benchmem -benchtime 3x
@@ -116,6 +124,12 @@ bench-fair:
 ## interleaving (BENCH_placement.json)
 bench-place:
 	$(GO) run ./cmd/harmony-bench -bench-place
+
+## bench-admit: cluster-scale admission report — 1K workers, 10K held
+## arrivals, completion-churn drain passes; incremental fast path vs the
+## clone-and-rescore baseline (BENCH_admit.json)
+bench-admit:
+	$(GO) run ./cmd/harmony-bench -bench-admit
 
 ## trace-demo: run a traced 2-worker, 2-job live cluster and write
 ## trace.json (open at https://ui.perfetto.dev)

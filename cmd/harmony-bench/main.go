@@ -10,6 +10,7 @@
 //	harmony-bench -bench-rebalance         # PS hot-stripe rebalance A/B + BENCH_psrebalance.json
 //	harmony-bench -bench-fair              # two-tenant fair-vs-FIFO A/B + BENCH_fair.json
 //	harmony-bench -bench-place             # net-aware placement A/B + BENCH_placement.json
+//	harmony-bench -bench-admit             # cluster-scale admission A/B + BENCH_admit.json
 //	harmony-bench -list
 package main
 
@@ -112,6 +113,8 @@ func run(args []string) error {
 	benchFairOut := fs.String("bench-fair-out", "BENCH_fair.json", "output path for -bench-fair results")
 	benchPlace := fs.Bool("bench-place", false, "measure comm-heavy co-location under link contention with the net-aware scheduler vs the aggregate-bandwidth baseline, write BENCH_placement.json, and exit")
 	benchPlaceOut := fs.String("bench-place-out", "BENCH_placement.json", "output path for -bench-place results")
+	benchAdmit := fs.Bool("bench-admit", false, "measure cluster-scale admission (10K held jobs, 1K workers) on the incremental fast path vs the clone-and-rescore baseline, write BENCH_admit.json, and exit")
+	benchAdmitOut := fs.String("bench-admit-out", "BENCH_admit.json", "output path for -bench-admit results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +136,9 @@ func run(args []string) error {
 	}
 	if *benchPlace {
 		return runBenchPlace(*benchPlaceOut)
+	}
+	if *benchAdmit {
+		return runBenchAdmit(*benchAdmitOut)
 	}
 	exps := experiments()
 	if *list {

@@ -19,7 +19,29 @@ const maxBundleSize = 3
 // without moving any running job or machine. It returns the improved plan
 // and true only when the addition raises the scheduling score; otherwise
 // the job should keep waiting.
+//
+// Candidates are scored incrementally through a Scorer (DESIGN.md §15), so
+// only the winning placement materializes a cloned plan; decisions are
+// bit-identical to TryAddJobReference, the retained clone-and-rescore
+// implementation.
 func TryAddJob(plan Plan, job JobInfo, opts Options) (Plan, bool) {
+	if len(plan.Groups) == 0 {
+		return plan, false
+	}
+	gi, _, ok := NewScorer(plan, opts).BestAddition(job)
+	if !ok {
+		return plan, false
+	}
+	out := plan.Clone()
+	out.Groups[gi].Jobs = append(out.Groups[gi].Jobs, job)
+	return out, true
+}
+
+// TryAddJobReference is the pre-fast-path arrival rule: clone the plan
+// once per candidate group and rescore from scratch. It is retained as
+// the oracle for the bit-identity property tests and the benchmark
+// baseline; TryAddJob must make the same decision on every input.
+func TryAddJobReference(plan Plan, job JobInfo, opts Options) (Plan, bool) {
 	opts = opts.withDefaults()
 	if len(plan.Groups) == 0 {
 		return plan, false
@@ -137,6 +159,11 @@ type RegroupResult struct {
 // job (or bundle), and only if that fails escalates to Algorithm 1 over a
 // growing set of groups — preferring decisions that move fewer jobs unless
 // a bigger reshuffle wins by more than the 5% threshold.
+//
+// Escalation candidates are scored through the Scorer's replacement walk
+// (cached aggregates for untouched groups, fresh terms for the rebuilt
+// sub-plan), so only the winning candidate materializes a plan; decisions
+// are bit-identical to RegroupAfterFinishReference.
 func RegroupAfterFinish(plan Plan, finishedID string, waiting []JobInfo, opts Options) RegroupResult {
 	opts = opts.withDefaults()
 	gi, ok := plan.FindJob(finishedID)
@@ -169,6 +196,122 @@ func RegroupAfterFinish(plan Plan, finishedID string, waiting []JobInfo, opts Op
 	// 2) Escalate: re-run Algorithm 1 over the affected group plus a
 	// growing set of other groups (smallest job count first), keeping
 	// their combined machines.
+	type candidate struct {
+		selected map[int]bool
+		sub      []Group
+		score    float64
+		involved int
+		jobs     int
+	}
+	sc := NewScorer(shrunk, opts)
+	baseScore := sc.Score()
+	var cands []candidate
+
+	others := make([]int, 0, len(shrunk.Groups))
+	for i := range shrunk.Groups {
+		if i != gi {
+			others = append(others, i)
+		}
+	}
+	sort.SliceStable(others, func(a, b int) bool {
+		return len(shrunk.Groups[others[a]].Jobs) < len(shrunk.Groups[others[b]].Jobs)
+	})
+
+	for k := 0; k <= len(others); k++ {
+		selected := map[int]bool{gi: true}
+		for _, oi := range others[:k] {
+			selected[oi] = true
+		}
+		var pool []JobInfo
+		var poolMachines int
+		for i, g := range shrunk.Groups {
+			if selected[i] {
+				pool = append(pool, g.Jobs...)
+				poolMachines += g.Machines
+			}
+		}
+		pool = append(pool, waiting...)
+		if len(pool) == 0 || poolMachines == 0 {
+			continue
+		}
+		sub := Schedule(pool, poolMachines, opts)
+		if len(sub.Groups) == 0 {
+			continue
+		}
+		cands = append(cands, candidate{
+			selected: selected,
+			sub:      sub.Groups,
+			score:    sc.scoreReplacement(selected, sub.Groups),
+			involved: k + 1,
+			jobs:     len(pool),
+		})
+	}
+	if len(cands) == 0 {
+		return RegroupResult{Plan: shrunk}
+	}
+
+	// Prefer the smallest involvement; a larger reshuffle must beat it by
+	// the threshold to be chosen (§IV-B4).
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.score > best.score*(1+SimilarityTolerance) {
+			best = c
+		}
+	}
+	// Do not regroup at all when the expected benefit is under threshold.
+	if best.score < baseScore*(1+opts.MinImprovement) {
+		return RegroupResult{Plan: shrunk}
+	}
+	// Materialize only the winner (untouched groups in base-plan order,
+	// then the rebuilt sub-plan — the same layout scoreReplacement walked).
+	var untouched []Group
+	for i, g := range shrunk.Groups {
+		if !best.selected[i] {
+			untouched = append(untouched, g)
+		}
+	}
+	bestPlan := Plan{Groups: append(untouched, best.sub...)}
+	added := addedJobIDs(shrunk, bestPlan)
+	return RegroupResult{
+		Plan:           bestPlan,
+		Changed:        true,
+		AddedJobs:      added,
+		InvolvedGroups: best.involved,
+	}
+}
+
+// RegroupAfterFinishReference is the pre-fast-path completion rule: every
+// escalation candidate materializes a full plan and is scored from
+// scratch. Retained as the oracle for the bit-identity property tests;
+// RegroupAfterFinish must return an identical RegroupResult on every
+// input.
+func RegroupAfterFinishReference(plan Plan, finishedID string, waiting []JobInfo, opts Options) RegroupResult {
+	opts = opts.withDefaults()
+	gi, ok := plan.FindJob(finishedID)
+	if !ok {
+		return RegroupResult{Plan: plan}
+	}
+	shrunk := plan.Clone()
+	shrunk.Groups[gi].Jobs = removeJob(shrunk.Groups[gi].Jobs, finishedID)
+	finished := jobByID(plan.Groups[gi].Jobs, finishedID)
+
+	if len(shrunk.Groups[gi].Jobs) == 0 && len(waiting) == 0 {
+		shrunk.Groups = append(shrunk.Groups[:gi], shrunk.Groups[gi+1:]...)
+		return RegroupResult{Plan: shrunk}
+	}
+
+	if idxs, ok := FindReplacement(finished, plan.Groups[gi].Machines, waiting); ok {
+		repaired := shrunk.Clone()
+		var added []string
+		for _, i := range idxs {
+			repaired.Groups[gi].Jobs = append(repaired.Groups[gi].Jobs, waiting[i])
+			added = append(added, waiting[i].ID)
+		}
+		if opts.feasible(repaired) {
+			return RegroupResult{Plan: repaired, Changed: true, AddedJobs: added}
+		}
+	}
+
 	type candidate struct {
 		plan     Plan
 		score    float64
@@ -224,15 +367,12 @@ func RegroupAfterFinish(plan Plan, finishedID string, waiting []JobInfo, opts Op
 		return RegroupResult{Plan: shrunk}
 	}
 
-	// Prefer the smallest involvement; a larger reshuffle must beat it by
-	// the threshold to be chosen (§IV-B4).
 	best := cands[0]
 	for _, c := range cands[1:] {
 		if c.score > best.score*(1+SimilarityTolerance) {
 			best = c
 		}
 	}
-	// Do not regroup at all when the expected benefit is under threshold.
 	if best.score < baseScore*(1+opts.MinImprovement) {
 		return RegroupResult{Plan: shrunk}
 	}

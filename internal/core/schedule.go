@@ -58,6 +58,7 @@ func (o Options) withDefaults() Options {
 // is discounted by its link compatibility: comm seconds predicted to
 // collide on the shared link are occupancy, not useful utilization.
 func (o Options) Score(p Plan) float64 {
+	fullScoreCalls.Add(1)
 	o = o.withDefaults()
 	if o.NetModel {
 		var wc, wn, m float64

@@ -83,6 +83,11 @@ type pendingJob struct {
 	resumeIter int
 	finishedCh chan struct{}
 	epoch      int
+	// rejectEpoch caches the admission epoch at which the drain pass last
+	// rejected this job (DESIGN.md §15): until the epoch moves — some
+	// admission input changed — re-scoring it would reproduce the same
+	// verdict, so the pass skips it.
+	rejectEpoch uint64
 }
 
 // demand is the gang size the job must place atomically.
@@ -133,8 +138,8 @@ type Counters struct {
 
 // Counters snapshots the control-plane counters.
 func (m *Master) Counters() Counters {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return Counters{
 		AdmittedInitial:    m.counters.admittedInitial,
 		AdmittedArrival:    m.counters.admittedArrival,
@@ -154,12 +159,8 @@ func (m *Master) knownLocked(name string) bool {
 	if _, ok := m.jobs[name]; ok {
 		return true
 	}
-	for _, p := range m.pending {
-		if p.spec.Name == name {
-			return true
-		}
-	}
-	return false
+	_, ok := m.pendingIdx[name]
+	return ok
 }
 
 // Enqueue submits a job through the online admission path of §IV-B4
@@ -198,14 +199,14 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 	m.arrivalSeq++
 	p := &pendingJob{spec: spec, info: info, queue: queue,
 		priority: spec.Priority, seq: m.arrivalSeq}
-	group, predicted, initial, ok, reason := m.admitLocked(spec, info, m.heldLocked())
+	group, predicted, initial, ok, reason := m.admitLocked(spec, info)
 	if !ok {
 		p.holdReason = reason
 		// Held work is waitable from the moment it is accepted: WaitJob
 		// parks on this channel, which survives the pending→deployed
 		// transition (and is closed by Cancel/Shutdown of a held job).
 		p.finishedCh = make(chan struct{})
-		m.pending = append(m.pending, p)
+		m.addPendingLocked(p)
 		m.counters.heldPending++
 		m.qcLocked(queue).held++
 		m.mu.Unlock()
@@ -213,7 +214,7 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 			Note: "held: " + reason})
 		// A hold in an under-quota queue may be reclaimable right now:
 		// the drain pass evaluates preemption against the live plan.
-		go m.drainQueue()
+		m.wakeDrainer()
 		return Admission{}, nil
 	}
 	kind := EventAdmitArrival
@@ -232,11 +233,13 @@ func (m *Master) Enqueue(spec JobSpec, prof Profile) (Admission, error) {
 	return Admission{Admitted: true, Workers: group}, nil
 }
 
-// livePlanLocked derives the scheduler's view of the running cluster:
-// jobs sharing a worker set form one group whose DoP is the set size.
-// The parallel slice maps each group to its worker names. Group and job
-// order are deterministic for a fixed cluster state.
-func (m *Master) livePlanLocked() (core.Plan, [][]string) {
+// buildLivePlanLocked derives the scheduler's view of the running
+// cluster from scratch: jobs sharing a worker set form one group whose
+// DoP is the set size. The parallel slice maps each group to its worker
+// names. Group and job order are deterministic for a fixed cluster
+// state. Most callers want livePlanLocked (fastpath.go), which caches
+// the result between plan mutations.
+func (m *Master) buildLivePlanLocked() (core.Plan, [][]string) {
 	type bucket struct {
 		idxs []int
 		jobs []core.JobInfo
@@ -249,7 +252,7 @@ func (m *Master) livePlanLocked() (core.Plan, [][]string) {
 		}
 		idxs := append([]int(nil), j.workers...)
 		sort.Ints(idxs)
-		key := fmt.Sprint(idxs)
+		key := workerSetKey(idxs)
 		b := byKey[key]
 		if b == nil {
 			b = &bucket{idxs: idxs}
@@ -299,9 +302,9 @@ func (m *Master) jobInfoLocked(name string, j *job) core.JobInfo {
 // the current plan (DESIGN.md §13), deploying every one the policy now
 // accepts. When nothing admits but an under-quota queue's gang could
 // place by reclaiming over-quota capacity, it preempts the selected
-// victims through the pause/checkpoint path and retries. It is called
-// after completions, migrations, cancellations, holds, and queue
-// reconfigurations.
+// victims through the pause/checkpoint path and retries. It runs on the
+// single drainer goroutine (fastpath.go), woken after completions,
+// migrations, cancellations, holds, and queue reconfigurations.
 func (m *Master) drainQueue() {
 	for {
 		m.mu.Lock()
@@ -309,22 +312,28 @@ func (m *Master) drainQueue() {
 			m.mu.Unlock()
 			return
 		}
-		held := m.heldLocked()
-		ordered := m.fairsched.Order(held, m.usageLocked(), len(m.workers))
+		usage, _, held := m.admitInputsLocked()
+		ordered := m.fairsched.Order(held, usage, len(m.workers))
 		var p *pendingJob
 		var group []string
-		var predicted core.Group
+		var predicted core.GroupPrediction
 		var initial bool
 		for _, h := range ordered {
 			cand := m.pendingByNameLocked(h.Job)
 			if cand == nil {
 				continue
 			}
-			g, pred, init, ok, reason := m.admitLocked(cand.spec, cand.info, held)
+			if !m.legacyAdmission && cand.rejectEpoch == m.admitEpoch {
+				// Nothing this verdict depended on has changed since the
+				// last pass rejected the job; skip the re-score.
+				continue
+			}
+			g, pred, init, ok, reason := m.admitLocked(cand.spec, cand.info)
 			if ok {
 				p, group, predicted, initial = cand, g, pred, init
 				break
 			}
+			cand.rejectEpoch = m.admitEpoch
 			if cand.holdReason != fair.HoldPreempted {
 				cand.holdReason = reason
 			}
@@ -373,7 +382,7 @@ func (m *Master) drainQueue() {
 			// let the next drain retry rather than spinning here.
 			m.mu.Lock()
 			if !m.closed && !m.draining {
-				m.pending = append(m.pending, p)
+				m.addPendingLocked(p)
 			}
 			m.mu.Unlock()
 			return
@@ -386,27 +395,25 @@ func (m *Master) drainQueue() {
 // are dropped from the workers, and waiters are unblocked.
 func (m *Master) Cancel(name string) error {
 	m.mu.Lock()
-	for i, p := range m.pending {
-		if p.spec.Name == name {
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
-			m.counters.canceled++
-			m.qcLocked(p.queue).canceled++
-			if p.finishedCh != nil {
-				// A canceled preempted job will never resume; unpark its
-				// WaitJob callers.
-				close(p.finishedCh)
-			}
-			m.mu.Unlock()
-			// cancel_held is distinct from a running-job cancel so replay
-			// can reconstruct queue state: this name never held workers
-			// (or had already released them to a preemption).
-			note := "canceled while held"
-			if p.holdReason != "" {
-				note += ": " + p.holdReason
-			}
-			m.journal.append(Event{Kind: EventCancelHeld, Job: name, Note: note})
-			return nil
+	if p := m.pendingByNameLocked(name); p != nil {
+		m.removePendingLocked(p)
+		m.counters.canceled++
+		m.qcLocked(p.queue).canceled++
+		if p.finishedCh != nil {
+			// A canceled preempted job will never resume; unpark its
+			// WaitJob callers.
+			close(p.finishedCh)
 		}
+		m.mu.Unlock()
+		// cancel_held is distinct from a running-job cancel so replay
+		// can reconstruct queue state: this name never held workers
+		// (or had already released them to a preemption).
+		note := "canceled while held"
+		if p.holdReason != "" {
+			note += ": " + p.holdReason
+		}
+		m.journal.append(Event{Kind: EventCancelHeld, Job: name, Note: note})
+		return nil
 	}
 	j, ok := m.jobs[name]
 	if !ok {
@@ -427,6 +434,7 @@ func (m *Master) Cancel(name string) error {
 	m.journal.append(Event{Kind: EventCancel, Job: name,
 		MeasuredIterSeconds: iter, MeasuredCPUUtil: ucpu, MeasuredNetUtil: unet})
 	j.status = StatusCanceled
+	m.invalidatePlanLocked()
 	m.counters.canceled++
 	m.qcLocked(j.queue).canceled++
 	for _, bs := range j.barriers {
@@ -449,7 +457,7 @@ func (m *Master) Cancel(name string) error {
 		_, _ = rpc.Invoke[ps.DropArgs, ps.Ack](r.client,
 			ps.MethodDrop, ps.DropArgs{Job: name}, time.Minute)
 	}
-	go m.drainQueue()
+	m.wakeDrainer()
 	return nil
 }
 
@@ -537,8 +545,8 @@ func (m *Master) queuePositionsLocked() map[string]int {
 
 // ListJobs reports every deployed and pending job, sorted by name.
 func (m *Master) ListJobs() []JobView {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	views := make([]JobView, 0, len(m.jobs)+len(m.pending))
 	for name, j := range m.jobs {
 		views = append(views, m.jobViewLocked(name, j))
@@ -553,15 +561,13 @@ func (m *Master) ListJobs() []JobView {
 
 // Job reports one job's status; ok is false for unknown names.
 func (m *Master) Job(name string) (JobView, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if j, ok := m.jobs[name]; ok {
 		return m.jobViewLocked(name, j), true
 	}
-	for _, p := range m.pending {
-		if p.spec.Name == name {
-			return m.pendingViewLocked(p, m.queuePositionsLocked()), true
-		}
+	if p := m.pendingIdx[name]; p != nil {
+		return m.pendingViewLocked(p, m.queuePositionsLocked()), true
 	}
 	return JobView{}, false
 }
@@ -595,8 +601,8 @@ type ClusterView struct {
 
 // Cluster reports the cluster status surface.
 func (m *Master) Cluster() ClusterView {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	cv := ClusterView{Workers: make([]string, len(m.workers))}
 	for i, w := range m.workers {
 		cv.Workers[i] = w.name
@@ -634,8 +640,8 @@ func (m *Master) Cluster() ClusterView {
 
 // QueueDepth reports the number of jobs held pending.
 func (m *Master) QueueDepth() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.pending)
 }
 
@@ -666,6 +672,8 @@ func (m *Master) Shutdown(timeout time.Duration) []string {
 		}
 	}
 	m.pending = nil
+	m.pendingIdx = make(map[string]*pendingJob)
+	m.admitEpoch++
 	var targets []target
 	for name, j := range m.jobs {
 		if j.status != StatusRunning || j.iter == 0 {

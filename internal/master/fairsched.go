@@ -65,8 +65,11 @@ func (m *Master) ConfigureQueues(cfgs ...fair.QueueConfig) error {
 		}
 	}
 	m.fairsched = s
+	// A new policy changes every quota and gate: expire cached reject
+	// verdicts and input snapshots, then retry held jobs against it.
+	m.admitEpoch++
 	m.mu.Unlock()
-	go m.drainQueue()
+	m.wakeDrainer()
 	return nil
 }
 
@@ -138,14 +141,17 @@ func (m *Master) runningLocked() []fair.Running {
 // gang rule is atomic: the returned group satisfies the spec's
 // MinWorkers/MaxWorkers band in full, or the job holds with a reason.
 //
-// Placement tries, in order: the §IV-B4 arrival rule (core.TryAddJob
-// into a running group that improves the scheduling score), then a new
-// group on free workers (the idle cluster is the degenerate case where
-// every worker is free). Either path is vetoed when the queue is over
-// quota and an under-quota queue has held jobs (borrowing is gated).
-func (m *Master) admitLocked(spec JobSpec, info core.JobInfo, held []fair.Held) (group []string, predicted core.Group, initial, ok bool, reason string) {
+// Placement tries, in order: the §IV-B4 arrival rule (the Scorer's
+// incremental BestAddition into a running group that improves the
+// scheduling score — bit-identical to the clone-and-rescore reference,
+// which legacyAdmission re-enables), then a new group on free workers
+// (the idle cluster is the degenerate case where every worker is free).
+// Either path is vetoed when the queue is over quota and an under-quota
+// queue has held jobs (borrowing is gated). Caller holds mu's write
+// side.
+func (m *Master) admitLocked(spec JobSpec, info core.JobInfo) (group []string, predicted core.GroupPrediction, initial, ok bool, reason string) {
 	if len(m.workers) == 0 {
-		return nil, core.Group{}, false, false, fair.HoldNoGang
+		return nil, core.GroupPrediction{}, false, false, fair.HoldNoGang
 	}
 	queue := spec.Queue
 	if queue == "" {
@@ -157,23 +163,41 @@ func (m *Master) admitLocked(spec JobSpec, info core.JobInfo, held []fair.Held) 
 	}
 	max := spec.MaxWorkers
 	total := len(m.workers)
-	usage := m.usageLocked()
+	usage, free, held := m.admitInputsLocked()
 	gated := m.fairsched.BorrowGated(queue, held, usage, total)
 	headroom := m.fairsched.QuotaWorkers(queue, total) - usage[queue]
 
-	plan, members := m.livePlanLocked()
+	var plan core.Plan
+	var members [][]string
+	var sc *core.Scorer
+	if m.legacyAdmission {
+		// The baseline pays exactly its historical costs: a fresh plan
+		// build and a clone-and-rescore per candidate group, no Scorer.
+		plan, members = m.livePlanLocked()
+	} else {
+		plan, members, sc = m.planScorerLocked()
+	}
 	if len(plan.Groups) > 0 {
-		if next, placed := core.TryAddJob(plan, info, m.opts); placed {
-			if gi, found := next.FindJob(info.ID); found && gi < len(members) {
-				g := members[gi]
-				fits := len(g) >= min && (max <= 0 || len(g) <= max)
-				if fits && (!gated || len(g) <= headroom) {
-					return g, next.Groups[gi], false, true, ""
+		gi := -1
+		var pred core.GroupPrediction
+		if m.legacyAdmission {
+			if next, placed := core.TryAddJobReference(plan, info, m.opts); placed {
+				if found, ok := next.FindJob(info.ID); ok {
+					gi = found
+					pred = core.PredictGroup(next.Groups[found], m.opts.NetModel)
 				}
+			}
+		} else if found, p, placed := sc.BestAddition(info); placed {
+			gi, pred = found, p
+		}
+		if gi >= 0 && gi < len(members) {
+			g := members[gi]
+			fits := len(g) >= min && (max <= 0 || len(g) <= max)
+			if fits && (!gated || len(g) <= headroom) {
+				return append([]string(nil), g...), pred, false, true, ""
 			}
 		}
 	}
-	free := m.freeWorkersLocked()
 	want := len(free)
 	if max > 0 && want > max {
 		want = max
@@ -182,34 +206,33 @@ func (m *Master) admitLocked(spec JobSpec, info core.JobInfo, held []fair.Held) 
 		want = headroom
 	}
 	if want >= min {
-		predicted := core.Group{Jobs: []core.JobInfo{info}, Machines: want}
-		return append([]string(nil), free[:want]...), predicted, len(plan.Groups) == 0, true, ""
+		pg := core.Group{Jobs: []core.JobInfo{info}, Machines: want}
+		return append([]string(nil), free[:want]...),
+			core.PredictGroup(pg, m.opts.NetModel), len(plan.Groups) == 0, true, ""
 	}
 	switch {
 	case gated && headroom < min:
-		return nil, core.Group{}, false, false, fair.HoldQuota
+		return nil, core.GroupPrediction{}, false, false, fair.HoldQuota
 	case len(free) < min && min > 1:
-		return nil, core.Group{}, false, false, fair.HoldNoGang
+		return nil, core.GroupPrediction{}, false, false, fair.HoldNoGang
 	default:
-		return nil, core.Group{}, false, false, fair.HoldSlowdown
+		return nil, core.GroupPrediction{}, false, false, fair.HoldSlowdown
 	}
 }
 
 // pendingByNameLocked finds a held job by name.
 func (m *Master) pendingByNameLocked(name string) *pendingJob {
-	for _, p := range m.pending {
-		if p.spec.Name == name {
-			return p
-		}
-	}
-	return nil
+	return m.pendingIdx[name]
 }
 
-// removePendingLocked unlinks a held job from the queue.
+// removePendingLocked unlinks a held job from the queue and advances the
+// admission epoch (the held view feeds BorrowGated).
 func (m *Master) removePendingLocked(p *pendingJob) {
 	for i, q := range m.pending {
 		if q == p {
 			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			delete(m.pendingIdx, p.spec.Name)
+			m.admitEpoch++
 			return
 		}
 	}
@@ -292,7 +315,8 @@ func (m *Master) preemptJob(name, beneficiary string) {
 		finishedCh: j.finishedCh, epoch: j.epoch,
 	}
 	delete(m.jobs, name)
-	m.pending = append(m.pending, p)
+	m.invalidatePlanLocked()
+	m.addPendingLocked(p)
 	m.counters.preempted++
 	m.qcLocked(j.queue).preempted++
 	m.mu.Unlock()
@@ -335,8 +359,8 @@ type QueueView struct {
 // Queues reports every configured queue's share, live usage, queue
 // depth, and cumulative counters, sorted by name.
 func (m *Master) Queues() []QueueView {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	total := len(m.workers)
 	usage := m.usageLocked()
 	running := make(map[string]int)

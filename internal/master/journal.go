@@ -125,23 +125,27 @@ func (l *journal) snapshot() []Event {
 // predictedEvent is the one stamping helper shared by every decision
 // path that journals a placement (admit, queue drain, migrate, recover,
 // ps_rebalance, ps_resize): it fills the Eq. 1/Eq. 3 predictions and,
-// under the net model, the group's predicted link compatibility.
-func (m *Master) predictedEvent(e Event, g core.Group) Event {
-	e.PredictedIterSeconds = g.IterSeconds()
-	e.PredictedCPUUtil, e.PredictedNetUtil = g.Util()
+// under the net model, the group's predicted link compatibility. The
+// prediction comes from the admission path's Scorer cache (or
+// core.PredictGroup on paths with no cached plan) — the stamp never
+// triggers a model recomputation of its own.
+func (m *Master) predictedEvent(e Event, p core.GroupPrediction) Event {
+	e.PredictedIterSeconds = p.IterSeconds
+	e.PredictedCPUUtil, e.PredictedNetUtil = p.CPUUtil, p.NetUtil
 	if m.opts.NetModel {
-		e.PredictedCompatibility = core.GroupCompatibility(g)
+		e.PredictedCompatibility = p.Compatibility
 	}
 	return e
 }
 
 // stampJobPlacementLocked fills the event's predicted fields for the
 // group e.Job currently occupies in the live plan, returning e unchanged
-// when the job has no placement. Caller holds m.mu.
+// when the job has no placement. Caller holds mu's write side (the
+// Scorer cache is not concurrency-safe).
 func (m *Master) stampJobPlacementLocked(e Event) Event {
-	plan, _ := m.livePlanLocked()
+	plan, _, sc := m.planScorerLocked()
 	if gi, ok := plan.FindJob(e.Job); ok {
-		e = m.predictedEvent(e, plan.Groups[gi])
+		e = m.predictedEvent(e, sc.Prediction(gi))
 	}
 	return e
 }
@@ -177,8 +181,8 @@ func (m *Master) measuredLocked(name string, j *job) (iter, ucpu, unet float64) 
 // still running are enriched with their current measured values; frozen
 // measurements (stamped at completion) are kept as recorded.
 func (m *Master) Events() []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	evs := m.journal.snapshot()
 	type meas struct{ iter, ucpu, unet float64 }
 	cache := make(map[string]meas)

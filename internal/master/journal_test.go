@@ -45,7 +45,7 @@ func TestJournalPredictedFrom(t *testing.T) {
 		Machines: 2,
 	}
 	m := &Master{}
-	e := m.predictedEvent(Event{Kind: EventAdmitArrival, Job: "b"}, g)
+	e := m.predictedEvent(Event{Kind: EventAdmitArrival, Job: "b"}, core.PredictGroup(g, false))
 	if e.PredictedIterSeconds != g.IterSeconds() {
 		t.Errorf("predicted T_itr = %v, want %v", e.PredictedIterSeconds, g.IterSeconds())
 	}
@@ -61,7 +61,7 @@ func TestJournalPredictedFrom(t *testing.T) {
 		t.Errorf("NetModel off: compatibility stamp = %v, want 0", e.PredictedCompatibility)
 	}
 	mn := &Master{opts: core.Options{NetModel: true}}
-	e = mn.predictedEvent(Event{Kind: EventAdmitArrival, Job: "b"}, g)
+	e = mn.predictedEvent(Event{Kind: EventAdmitArrival, Job: "b"}, core.PredictGroup(g, true))
 	if want := core.GroupCompatibility(g); e.PredictedCompatibility != want {
 		t.Errorf("NetModel on: compatibility stamp = %v, want %v", e.PredictedCompatibility, want)
 	}

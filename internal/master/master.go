@@ -146,7 +146,11 @@ type Master struct {
 	srv  *rpc.Server
 	addr string
 
-	mu       sync.Mutex
+	// mu is a read/write split (DESIGN.md §15): status surfaces
+	// (ListJobs, Job, Cluster, Counters, Queues, queue views, /metrics
+	// scrapes) take the read side and no longer contend with admission,
+	// which — like every state mutation — holds the write side.
+	mu       sync.RWMutex
 	workers  []workerRef
 	jobs     map[string]*job
 	pending  []*pendingJob
@@ -155,6 +159,39 @@ type Master struct {
 	counters counters
 	draining bool
 	closed   bool
+
+	// pendingIdx indexes m.pending by job name so duplicate checks and
+	// drain lookups are O(1) instead of scans of a 10K-deep queue.
+	// Maintained by addPendingLocked/removePendingLocked.
+	pendingIdx map[string]*pendingJob
+
+	// Admission fast path (DESIGN.md §15). admitEpoch versions every
+	// input of an admission decision: it is bumped (under mu's write
+	// side) by any mutation of the live plan, the pending queue, the
+	// worker set, or the queue policy. The drain pass stamps reject
+	// verdicts with the epoch they were computed at and skips re-scoring
+	// a held job until the epoch moves; the usage/free/held snapshots in
+	// admitInputsLocked are cached on the same key. planMu guards the
+	// cached live plan (planCache), which is built lazily under mu's
+	// read side and cleared by invalidatePlanLocked (lock order:
+	// mu → planMu). legacyAdmission re-enables the pre-fast-path
+	// clone-and-rescore behavior for the A/B benchmark.
+	admitEpoch      uint64
+	planMu          sync.Mutex
+	planCache       *livePlanCache
+	inputEpoch      uint64
+	usageCache      fair.Usage
+	freeCache       []string
+	heldCache       []fair.Held
+	legacyAdmission bool
+
+	// The single drainer goroutine (drainLoop) replaces the historical
+	// per-event `go m.drainQueue()` spawns: wakeups coalesce through the
+	// 1-buffered drainCh, so a burst of holds and completions triggers
+	// one batched pass instead of a goroutine storm.
+	drainCh       chan struct{}
+	drainStop     chan struct{}
+	drainStopOnce sync.Once
 
 	// Fair-scheduler state (fairsched.go): the active queue policy, a
 	// per-queue counter ledger, the arrival/deployment sequence clocks,
@@ -189,15 +226,20 @@ type Master struct {
 // New starts a master listening on addr ("127.0.0.1:0" for tests).
 func New(addr string, opts core.Options) (*Master, error) {
 	m := &Master{
-		srv:       rpc.NewServer(),
-		jobs:      make(map[string]*job),
-		profiles:  profile.NewStore(profile.DefaultEWMAAlpha),
-		opts:      opts,
-		journal:   newJournal(DefaultJournalCapacity),
-		fairsched: fair.Default(),
-		qcounters: make(map[string]*queueCounters),
-		phases:    make(map[string]*groupPhase),
+		srv:        rpc.NewServer(),
+		jobs:       make(map[string]*job),
+		pendingIdx: make(map[string]*pendingJob),
+		profiles:   profile.NewStore(profile.DefaultEWMAAlpha),
+		opts:       opts,
+		journal:    newJournal(DefaultJournalCapacity),
+		fairsched:  fair.Default(),
+		qcounters:  make(map[string]*queueCounters),
+		phases:     make(map[string]*groupPhase),
+		admitEpoch: 1,
+		drainCh:    make(chan struct{}, 1),
+		drainStop:  make(chan struct{}),
 	}
+	go m.drainLoop()
 	m.srv.Handle("master.register", rpc.Typed(m.handleRegister))
 	m.srv.Handle(worker.MethodBarrier, rpc.Typed(m.handleBarrier))
 	m.srv.Handle(worker.MethodJobDone, rpc.Typed(m.handleJobDone))
@@ -235,6 +277,10 @@ func (m *Master) handleRegister(a registerArgs) (worker.Ack, error) {
 		}
 	}
 	m.workers = append(m.workers, workerRef{name: a.Name, addr: a.Addr, client: client})
+	// A new worker extends the free list: cached admission inputs (and
+	// reject verdicts) are stale. Appending leaves existing worker
+	// indexes — and so the live plan — intact.
+	m.admitEpoch++
 	return worker.Ack{}, nil
 }
 
@@ -242,9 +288,9 @@ func (m *Master) handleRegister(a registerArgs) (worker.Ack, error) {
 func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		m.mu.Lock()
+		m.mu.RLock()
 		got := len(m.workers)
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		if got >= n {
 			return nil
 		}
@@ -257,8 +303,8 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 
 // Workers reports registered worker names.
 func (m *Master) Workers() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	names := make([]string, len(m.workers))
 	for i, w := range m.workers {
 		names[i] = w.name
@@ -329,11 +375,13 @@ func (m *Master) submitPending(p *pendingJob, group []string) error {
 		j.checkpointIter = fromIter - 1
 	}
 	m.jobs[spec.Name] = j
+	m.invalidatePlanLocked()
 	m.mu.Unlock()
 
 	if err := m.deploy(j, p.resume, fromIter); err != nil {
 		m.mu.Lock()
 		delete(m.jobs, spec.Name)
+		m.invalidatePlanLocked()
 		m.mu.Unlock()
 		return err
 	}
@@ -443,7 +491,11 @@ func (m *Master) handleBarrier(a worker.BarrierArgs) (worker.BarrierReply, error
 		m.mu.Unlock()
 		return worker.BarrierReply{Directive: worker.Stop}, nil
 	}
+	// Every observation can move the scheduler-visible profile (the EWMA
+	// supersedes submission hints once MinSamples accumulate), so the
+	// cached plan is stale; the same bump covers the pause flip below.
 	_ = m.profiles.Observe(a.Job, len(j.workers), a.CompSeconds, a.NetSeconds)
+	m.invalidatePlanLocked()
 	j.loss = a.Loss
 	if a.Iteration > j.iter {
 		j.iter = a.Iteration
@@ -532,16 +584,17 @@ func (m *Master) handleJobDone(a worker.JobDoneArgs) (worker.Ack, error) {
 			MeasuredNetUtil:     unet,
 		})
 		j.status = StatusFinished
+		m.invalidatePlanLocked()
 		close(j.finishedCh)
 		// A completion frees capacity: drain the admission queue (§IV-B4).
-		go m.drainQueue()
+		m.wakeDrainer()
 	}
 	return worker.Ack{}, nil
 }
 
 // WaitJob blocks until the job completes.
 func (m *Master) WaitJob(name string, timeout time.Duration) error {
-	m.mu.Lock()
+	m.mu.RLock()
 	var ch chan struct{}
 	if j, ok := m.jobs[name]; ok {
 		ch = j.finishedCh
@@ -551,7 +604,7 @@ func (m *Master) WaitJob(name string, timeout time.Duration) error {
 		// survives the pending→deployed transition.
 		ch = p.finishedCh
 	}
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	if ch == nil {
 		return fmt.Errorf("master: %w %q", ErrUnknownJob, name)
 	}
@@ -565,8 +618,8 @@ func (m *Master) WaitJob(name string, timeout time.Duration) error {
 
 // Status reports a job's state, last completed iteration, and loss.
 func (m *Master) Status(name string) (JobStatus, int, float64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	j, ok := m.jobs[name]
 	if !ok {
 		return 0, 0, 0, fmt.Errorf("master: unknown job %q", name)
@@ -637,8 +690,10 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 	j.psServers = nil // deploy rebuilds model partitions on the new group
 	j.epoch++         // the pre-migration placement must not reach the new barriers
 	m.counters.migrations++
-	// Journal the migration with the model's prediction for the group the
-	// job now joins; the measured EWMA restarts on the new placement.
+	// The job moved groups: refresh the cached plan before stamping the
+	// migration event with the prediction for the placement it now joins;
+	// the measured EWMA restarts on the new placement.
+	m.invalidatePlanLocked()
 	ev := m.stampJobPlacementLocked(Event{Kind: EventMigrate, Job: name, Group: group})
 	j.measIter = 0
 	j.lastRelease = time.Time{}
@@ -657,7 +712,7 @@ func (m *Master) Resume(name string, group []string, checkpoint []float64) error
 		return err
 	}
 	// A regroup reshapes the plan; retry held jobs against it (§IV-B4).
-	go m.drainQueue()
+	m.wakeDrainer()
 	return nil
 }
 
@@ -678,7 +733,7 @@ func (m *Master) serverAddrsLocked(j *job) []string {
 // machine counts to concrete worker subsets. It returns job→workers
 // assignments without applying them; callers migrate via Pause/Resume.
 func (m *Master) PlanGroups() (map[string][]string, error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	var infos []core.JobInfo
 	for name := range m.jobs {
 		if met, ok := m.profiles.Metrics(name); ok && met.Profiled() {
@@ -694,7 +749,7 @@ func (m *Master) PlanGroups() (map[string][]string, error) {
 	for i, w := range m.workers {
 		names[i] = w.name
 	}
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	if len(infos) == 0 {
 		return nil, errors.New("master: no profiled jobs to plan")
 	}
@@ -725,9 +780,9 @@ func (m *Master) PlanGroups() (map[string][]string, error) {
 
 // WorkerStats aggregates executor utilization across workers.
 func (m *Master) WorkerStats() (cpu, net float64, err error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	refs := append([]workerRef(nil), m.workers...)
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	if len(refs) == 0 {
 		return 0, 0, errors.New("master: no workers")
 	}
@@ -750,9 +805,9 @@ func (m *Master) WorkerStats() (cpu, net float64, err error) {
 // which share this process's global counters — are counted once. Worker
 // stats are best effort: a worker mid-restart is skipped, not an error.
 func (m *Master) CommStats() metrics.CommSnapshot {
-	m.mu.Lock()
+	m.mu.RLock()
 	refs := append([]workerRef(nil), m.workers...)
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	perProcess := map[string]metrics.CommSnapshot{
 		metrics.ProcessID(): metrics.Comm.Snapshot(),
 	}
@@ -776,9 +831,9 @@ func (m *Master) CommStats() metrics.CommSnapshot {
 // reload-stall seconds) across the cluster with the same per-process
 // deduplication and best-effort semantics as CommStats.
 func (m *Master) CompStats() metrics.CompSnapshot {
-	m.mu.Lock()
+	m.mu.RLock()
 	refs := append([]workerRef(nil), m.workers...)
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	perProcess := map[string]metrics.CompSnapshot{
 		metrics.ProcessID(): metrics.Comp.Snapshot(),
 	}
@@ -800,6 +855,9 @@ func (m *Master) CompStats() metrics.CompSnapshot {
 
 // Close releases all barriers with Stop and shuts the master down.
 func (m *Master) Close() {
+	// Signal the drainer first; it exits after at most one more round
+	// (each round re-checks m.closed under the lock).
+	m.drainStopOnce.Do(func() { close(m.drainStop) })
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()

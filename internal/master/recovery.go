@@ -58,8 +58,8 @@ func (m *Master) checkpointFailed() {
 // Checkpoint reports the job's most recent background snapshot and the
 // iteration it covers (nil before the first CheckpointEvery iterations).
 func (m *Master) Checkpoint(name string) ([]float64, int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	j, ok := m.jobs[name]
 	if !ok {
 		return nil, 0, fmt.Errorf("master: unknown job %q", name)
@@ -123,6 +123,9 @@ func (m *Master) RemoveWorker(name string) ([]string, error) {
 		j.barriers = make(map[int]*barrierState)
 		j.pausedCh = make(chan struct{})
 	}
+	// Worker indexes shifted and affected jobs left the running set: the
+	// derived plan is stale in both group membership and shape.
+	m.invalidatePlanLocked()
 	m.mu.Unlock()
 	dead.client.Close()
 	return affected, nil
@@ -164,6 +167,9 @@ func (m *Master) RecoverJob(name string, group []string) error {
 	j.psServers = nil // deploy rebuilds model partitions on the new group
 	j.epoch++         // stragglers of the failed placement are now stale
 	m.counters.recoveries++
+	// The stamp below must see the restarted placement, not the cached
+	// pre-failure plan.
+	m.invalidatePlanLocked()
 	ev := m.stampJobPlacementLocked(Event{Kind: EventRecover, Job: name,
 		Group: m.workerNamesLocked(j),
 		Note:  fmt.Sprintf("restart from checkpoint iteration %d", j.checkpointIter)})
