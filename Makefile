@@ -5,10 +5,10 @@ GO ?= go
 VERSION ?= dev
 LDFLAGS := -ldflags "-X harmony/internal/obs.Version=$(VERSION)"
 
-.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke admit-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair bench-place bench-admit trace-demo
+.PHONY: check fmt vet build test race ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke admit-smoke snapshot-smoke bench-smoke bench-report bench-comm bench-comp bench-rebalance bench-fair bench-place bench-admit trace-demo
 
 ## check: full local gate — gofmt, vet, build, race-enabled tests, bench smoke run
-check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke admit-smoke race bench-smoke
+check: fmt vet build ctl-smoke comm-smoke comp-smoke obs-smoke ps-rebalance-smoke fair-smoke place-smoke admit-smoke snapshot-smoke race bench-smoke
 
 ## fmt: fail if any file is not gofmt-formatted
 fmt:
@@ -81,6 +81,15 @@ obs-smoke:
 admit-smoke:
 	$(GO) test -race -run 'TestScorer|TestIncrementalAdmissionBitIdentical|TestScoreDeltaAllocFree|TestRegroupAfterFinish' ./internal/core/
 	$(GO) test -race -run 'TestAdmit|TestWakeDrainerCoalesces|TestWorkerSetKeyOrder' ./internal/master/
+
+## snapshot-smoke: race-enabled pass over snapshot/replay — journal ring
+## wraparound under concurrent append/read, state capture on a live
+## cluster, the deterministic replay engine with its golden corpus, and
+## the capture → replay-twice → /metrics HTTP integration
+snapshot-smoke:
+	$(GO) test -race -run 'TestJournal|TestSnapshot' ./internal/master/
+	$(GO) test -race ./internal/replay/
+	$(GO) test -race -run 'TestSnapshotReplayOverHTTP|TestEventsFilters|TestSnapshotEndpoint|TestReplayEndpointFeedsMetrics' ./internal/ctl/
 
 ## bench-smoke: quick pass over the perf-critical benchmarks with -benchmem
 bench-smoke:

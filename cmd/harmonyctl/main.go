@@ -13,6 +13,8 @@
 //	cluster  show workers, groups and the admission queue
 //	queues   show fair-scheduler queues: shares, quotas, usage, depth
 //	events   show the scheduler decision journal (predicted vs measured T_itr/U)
+//	snapshot capture the master's full state (-o snap.json; replay with harmony-sim -replay)
+//	replay   self-replay the decision journal server-side, print the drift report
 //	trace    fetch the Chrome trace-event JSON (-o trace.json; load in Perfetto)
 //	ps-stats show per-stripe parameter-server load (what the rebalancer sees)
 package main
@@ -24,13 +26,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"harmony/internal/ctl"
 	"harmony/internal/ps"
+	"harmony/internal/replay"
 )
 
 func main() {
@@ -41,7 +46,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|queues|events|trace|ps-stats} [flags]")
+	return fmt.Errorf("usage: harmonyctl [-addr URL] {submit|jobs|status|cancel|cluster|queues|events|snapshot|replay|trace|ps-stats} [flags]")
 }
 
 func run(args []string) error {
@@ -77,7 +82,11 @@ func run(args []string) error {
 	case "queues":
 		return cmdQueues(c)
 	case "events":
-		return cmdEvents(c)
+		return cmdEvents(c, rest)
+	case "snapshot":
+		return cmdSnapshot(c, rest)
+	case "replay":
+		return cmdReplay(c, rest)
 	case "trace":
 		return cmdTrace(c, rest)
 	case "ps-stats":
@@ -294,10 +303,28 @@ func cmdCancel(c *client, name string) error {
 
 // cmdEvents prints the scheduler decision journal: one line per
 // decision with the model's predicted T_itr/U beside the measured
-// values, so prediction error is visible per decision.
-func cmdEvents(c *client) error {
+// values, so prediction error is visible per decision. -since polls
+// incrementally from a sequence number; -kind filters one decision kind.
+func cmdEvents(c *client, args []string) error {
+	fs := flag.NewFlagSet("harmonyctl events", flag.ContinueOnError)
+	since := fs.Uint64("since", 0, "only events after this sequence number")
+	kind := fs.String("kind", "", "only events of this kind (e.g. admit_arrival, hold, migrate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := "/v1/events"
+	q := url.Values{}
+	if *since > 0 {
+		q.Set("since", strconv.FormatUint(*since, 10))
+	}
+	if *kind != "" {
+		q.Set("kind", *kind)
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
 	var resp ctl.EventsResponse
-	if err := c.do(http.MethodGet, "/v1/events", nil, &resp); err != nil {
+	if err := c.do(http.MethodGet, path, nil, &resp); err != nil {
 		return err
 	}
 	if len(resp.Events) == 0 {
@@ -338,6 +365,83 @@ func fmtUtil(cpu, net float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f%%/%.0f%%", cpu*100, net*100)
+}
+
+// cmdSnapshot captures the master's full state — plan, jobs, queues,
+// profiles, PS placement, decision journal — as a versioned JSON
+// document replayable with `harmony-sim -replay`.
+func cmdSnapshot(c *client, args []string) error {
+	fs := flag.NewFlagSet("harmonyctl snapshot", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := c.raw("/v1/snapshot")
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bytes to %s (replay with: harmony-sim -replay %s)\n",
+		len(body), *out, *out)
+	return nil
+}
+
+// cmdReplay asks the master to self-replay its decision journal and
+// prints the calibration summary; the full report lands on /metrics as
+// harmony_model_error_ratio gauges and is printed with -v.
+func cmdReplay(c *client, args []string) error {
+	fs := flag.NewFlagSet("harmonyctl replay", flag.ContinueOnError)
+	machines := fs.Int("machines", 0, "what-if cluster size (0 = as captured)")
+	queues := fs.String("queues", "", "what-if queue policy (e.g. 'prod:quota=0.7;dev:weight=1')")
+	netModel := fs.String("net-model", "", "what-if net model: on or off (empty = as captured)")
+	verbose := fs.Bool("v", false, "print the full JSON report instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := ctl.ReplayRequest{Machines: *machines, Queues: *queues}
+	switch *netModel {
+	case "":
+	case "on", "off":
+		v := *netModel == "on"
+		req.NetModel = &v
+	default:
+		return fmt.Errorf("replay: -net-model must be on or off")
+	}
+	var rep replay.Report
+	if err := c.do(http.MethodPost, "/v1/replay", req, &rep); err != nil {
+		return err
+	}
+	if *verbose {
+		b, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	fmt.Printf("replayed %d events (%d modeled, %d with measurements) on %d machines\n",
+		rep.Overall.Events, rep.Overall.Modeled, rep.Overall.Measured, rep.Machines)
+	fmt.Printf("mean prediction error: %.1f%%   replay error: %.1f%%   drift: %.1f%%\n",
+		rep.Overall.MeanIterErrRatio*100, rep.Overall.MeanReplayErrRatio*100,
+		rep.Overall.MeanDriftRatio*100)
+	for _, g := range rep.Groups {
+		fmt.Printf("  group=[%s] kind=%s decisions=%d err=%.1f%% drift=%.1f%%\n",
+			g.Group, g.Kind, g.Decisions, g.MeanIterErrRatio*100, g.MeanDriftRatio*100)
+	}
+	if rep.WhatIf != nil {
+		fmt.Printf("what-if: machines=%d holds_lifted=%d admits_gated=%d\n",
+			rep.WhatIf.Machines, rep.WhatIf.HoldsLifted, rep.WhatIf.AdmitsGated)
+	}
+	for _, sk := range rep.Skipped {
+		fmt.Printf("  skipped: %s\n", sk)
+	}
+	return nil
 }
 
 // cmdTrace saves the cluster's Chrome trace-event JSON; open the file at

@@ -12,7 +12,9 @@
 //	DELETE /v1/jobs/{name}   cancel a pending or running job
 //	GET    /v1/cluster       workers, groups, queue
 //	GET    /v1/queues        fair-scheduler queues: shares, usage, depth
-//	GET    /v1/events        scheduler decision journal
+//	GET    /v1/events        scheduler decision journal (?since=, ?kind=)
+//	GET    /v1/snapshot      versioned capture of the master's full state
+//	POST   /v1/replay        self-replay the journal, report model drift
 //	GET    /v1/trace         Chrome trace-event JSON of collected spans
 //	GET    /v1/ps            per-stripe parameter-server statistics
 //	GET    /healthz          liveness + uptime
@@ -35,6 +37,7 @@ import (
 	"harmony/internal/mlapp"
 	"harmony/internal/obs"
 	"harmony/internal/ps"
+	"harmony/internal/replay"
 )
 
 // Backend is what the control plane needs from the live master;
@@ -51,7 +54,8 @@ type Backend interface {
 	WorkerStats() (cpu, net float64, err error)
 	CommStats() metrics.CommSnapshot
 	CompStats() metrics.CompSnapshot
-	Events() []master.Event
+	EventsSince(since uint64, kind string) []master.Event
+	Snapshot() (master.Snapshot, error)
 	PSStats() (ps.ClusterStats, error)
 	TracingEnabled() bool
 	CollectSpans() []obs.TaggedSpan
@@ -71,6 +75,8 @@ var routes = []string{
 	"GET /v1/cluster",
 	"GET /v1/queues",
 	"GET /v1/events",
+	"GET /v1/snapshot",
+	"POST /v1/replay",
 	"GET /v1/trace",
 	"GET /v1/ps",
 	"GET /healthz",
@@ -85,6 +91,9 @@ type Server struct {
 
 	mu       sync.Mutex
 	requests map[string]int64
+	// lastReplay caches the most recent POST /v1/replay calibration
+	// report; /metrics renders it as harmony_model_error_ratio gauges.
+	lastReplay *replay.Report
 
 	ln net.Listener
 	hs *http.Server
@@ -104,6 +113,8 @@ func New(b Backend) *Server {
 	s.handle("GET /v1/cluster", s.handleCluster)
 	s.handle("GET /v1/queues", s.handleQueues)
 	s.handle("GET /v1/events", s.handleEvents)
+	s.handle("GET /v1/snapshot", s.handleSnapshot)
+	s.handle("POST /v1/replay", s.handleReplay)
 	s.handle("GET /v1/trace", s.handleTrace)
 	s.handle("GET /v1/ps", s.handlePSStats)
 	s.handle("GET /healthz", s.handleHealthz)

@@ -12,6 +12,7 @@ import (
 	"harmony/internal/metrics"
 	"harmony/internal/obs"
 	"harmony/internal/ps"
+	"harmony/internal/replay"
 )
 
 // fakeBackend scripts the master's control-plane surface for handler
@@ -28,6 +29,8 @@ type fakeBackend struct {
 	statsErr   error
 	queues     []master.QueueView
 	events     []master.Event
+	snap       *master.Snapshot
+	snapErr    error
 	psStats    ps.ClusterStats
 	psErr      error
 	traced     bool
@@ -88,7 +91,30 @@ func (f *fakeBackend) CompStats() metrics.CompSnapshot {
 	return f.comp
 }
 
-func (f *fakeBackend) Events() []master.Event { return f.events }
+func (f *fakeBackend) EventsSince(since uint64, kind string) []master.Event {
+	var out []master.Event
+	for _, e := range f.events {
+		if e.Seq > since && (kind == "" || e.Kind == kind) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (f *fakeBackend) Snapshot() (master.Snapshot, error) {
+	if f.snapErr != nil {
+		return master.Snapshot{}, f.snapErr
+	}
+	if f.snap != nil {
+		return *f.snap, nil
+	}
+	ws := f.cluster.Workers
+	return master.Snapshot{
+		SchemaVersion: master.SnapshotSchemaVersion,
+		Workers:       ws,
+		Journal:       f.events,
+	}, nil
+}
 
 func (f *fakeBackend) PSStats() (ps.ClusterStats, error) { return f.psStats, f.psErr }
 
@@ -524,6 +550,141 @@ func TestEventsEndpoint(t *testing.T) {
 	w = doReq(t, s, http.MethodGet, "/v1/events", "")
 	if !strings.Contains(w.Body.String(), `"events":[]`) {
 		t.Errorf("empty journal body = %s", w.Body.String())
+	}
+}
+
+func TestEventsFilters(t *testing.T) {
+	f := &fakeBackend{events: []master.Event{
+		{Seq: 1, Kind: master.EventAdmitInitial, Job: "a"},
+		{Seq: 2, Kind: master.EventHold, Job: "b"},
+		{Seq: 3, Kind: master.EventAdmitArrival, Job: "c"},
+	}}
+	s := New(f)
+	cases := []struct {
+		query string
+		want  []uint64
+	}{
+		{"", []uint64{1, 2, 3}},
+		{"?since=1", []uint64{2, 3}},
+		{"?since=3", nil},
+		{"?kind=hold", []uint64{2}},
+		{"?since=2&kind=admit_arrival", []uint64{3}},
+	}
+	for _, c := range cases {
+		w := doReq(t, s, http.MethodGet, "/v1/events"+c.query, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("%q: status = %d", c.query, w.Code)
+		}
+		var out EventsResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		for _, e := range out.Events {
+			got = append(got, e.Seq)
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%q: seqs = %v, want %v", c.query, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: seqs = %v, want %v", c.query, got, c.want)
+				break
+			}
+		}
+	}
+	w := doReq(t, s, http.MethodGet, "/v1/events?since=nope", "")
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad since: status = %d, want 400", w.Code)
+	}
+}
+
+// replayableSnapshot is a one-job capture whose single journaled
+// admission can be re-modeled, so a self-replay produces a non-empty
+// calibration report.
+func replayableSnapshot() *master.Snapshot {
+	return &master.Snapshot{
+		SchemaVersion: master.SnapshotSchemaVersion,
+		Workers:       []string{"w0", "w1"},
+		Jobs: []master.SnapshotJob{{
+			Name: "a", State: "running", Algorithm: "MLR",
+			Iterations: 100, Iteration: 5, Workers: []string{"w0", "w1"},
+			CompSeconds: 8, NetSeconds: 1, ModelGB: 0.5, WorkGB: 0.3,
+			MeasuredIterSeconds: 5.2,
+		}},
+		Journal: []master.Event{{
+			Seq: 1, Kind: master.EventAdmitInitial, Job: "a",
+			Group:                []string{"w0", "w1"},
+			PredictedIterSeconds: 5, MeasuredIterSeconds: 5.2,
+		}},
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	f := &fakeBackend{snap: replayableSnapshot()}
+	s := New(f)
+	w := doReq(t, s, http.MethodGet, "/v1/snapshot", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var snap master.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != master.SnapshotSchemaVersion ||
+		len(snap.Jobs) != 1 || len(snap.Journal) != 1 {
+		t.Errorf("snapshot round-trip = %+v", snap)
+	}
+
+	// A capture that fails its own schema check must not leave the
+	// process as a 200.
+	f.snap.SchemaVersion = 99
+	w = doReq(t, s, http.MethodGet, "/v1/snapshot", "")
+	if w.Code != http.StatusInternalServerError {
+		t.Errorf("invalid capture: status = %d, want 500", w.Code)
+	}
+}
+
+func TestReplayEndpointFeedsMetrics(t *testing.T) {
+	f := &fakeBackend{snap: replayableSnapshot()}
+	s := New(f)
+
+	// Before any replay the model-error gauges are absent.
+	w := doReq(t, s, http.MethodGet, "/metrics", "")
+	if strings.Contains(w.Body.String(), "harmony_model_error_ratio") {
+		t.Fatalf("model gauges present before replay:\n%s", w.Body.String())
+	}
+
+	w = doReq(t, s, http.MethodPost, "/v1/replay", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("replay: status = %d: %s", w.Code, w.Body.String())
+	}
+	var rep replay.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Modeled != 1 || len(rep.Groups) != 1 {
+		t.Fatalf("self-replay report = %+v", rep.Overall)
+	}
+
+	w = doReq(t, s, http.MethodGet, "/metrics", "")
+	body := w.Body.String()
+	for _, want := range []string{
+		`harmony_model_error_ratio{group="w0,w1",kind="admit_initial"}`,
+		"harmony_model_drift_ratio",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics after replay missing %q:\n%s", want, body)
+		}
+	}
+
+	if w := doReq(t, s, http.MethodPost, "/v1/replay", `{`); w.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", w.Code)
+	}
+	if w := doReq(t, s, http.MethodPost, "/v1/replay",
+		`{"queues":"bad spec;;;"}`); w.Code != http.StatusBadRequest {
+		t.Errorf("bad queue override: status = %d, want 400", w.Code)
 	}
 }
 

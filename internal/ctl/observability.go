@@ -42,9 +42,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents serves the scheduler decision journal: every admission,
 // hold, regroup, recovery and completion with the model's predicted
-// T_itr/U beside the measured values.
+// T_itr/U beside the measured values. ?since=<seq> returns only events
+// after that sequence number (incremental polling pays for its delta,
+// not the whole ring); ?kind= filters to one decision kind.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	evs := s.b.Events()
+	since, kind, ok := parseEventsQuery(w, r)
+	if !ok {
+		return
+	}
+	evs := s.b.EventsSince(since, kind)
 	if evs == nil {
 		evs = []master.Event{}
 	}
@@ -239,6 +245,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Type: metrics.PromGauge, Value: overlap[g],
 			})
 		}
+	}
+	// Model calibration gauges from the last POST /v1/replay: the mean
+	// |predicted − measured| / measured iteration-time error per
+	// (worker set, decision kind), from re-running the §IV-B2 model over
+	// the journaled decision sequence (DESIGN.md §16). Absent until the
+	// first self-replay.
+	s.mu.Lock()
+	rep := s.lastReplay
+	s.mu.Unlock()
+	if rep != nil {
+		for _, g := range rep.Groups {
+			samples = append(samples, metrics.Sample{
+				Name: `harmony_model_error_ratio{group="` + g.Group + `",kind="` + g.Kind + `"}`,
+				Help: "Mean relative iteration-time prediction error per co-location group and decision kind, from the last journal self-replay.",
+				Type: metrics.PromGauge, Value: g.MeanIterErrRatio,
+			})
+		}
+		samples = append(samples, metrics.Sample{
+			Name: "harmony_model_drift_ratio",
+			Help: "Mean relative drift between decision-time predictions and the current model's replayed predictions.",
+			Type: metrics.PromGauge, Value: rep.Overall.MeanDriftRatio,
+		})
 	}
 	s.mu.Lock()
 	for _, route := range routes {

@@ -1,0 +1,90 @@
+package ctl
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"harmony/internal/replay"
+)
+
+// This file is the control-plane half of snapshot/replay (DESIGN.md
+// §16): GET /v1/snapshot serves the master's versioned state capture,
+// POST /v1/replay self-replays the decision journal through
+// internal/replay and caches the calibration report for /metrics.
+
+// ReplayRequest is the POST /v1/replay body; every field is optional
+// (an empty body replays the capture as-is).
+type ReplayRequest struct {
+	// Machines, NetModel and Queues are the what-if overrides, with
+	// replay.Overrides semantics.
+	Machines int    `json:"machines,omitempty"`
+	NetModel *bool  `json:"net_model,omitempty"`
+	Queues   string `json:"queues,omitempty"`
+}
+
+// handleSnapshot captures and serves the master's full state. The
+// capture itself validates before it leaves the process, so a snapshot
+// that fails its own schema check is a server error, not a silently
+// broken artifact.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.b.Snapshot()
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	if err := snap.Validate(); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleReplay snapshots the live master and replays its journal,
+// returning the calibration report. The report is cached so the next
+// /metrics scrape exposes harmony_model_error_ratio{group,kind}.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "read body: "+err.Error())
+		return
+	} else if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "malformed JSON body: "+err.Error())
+			return
+		}
+	}
+	snap, err := s.b.Snapshot()
+	if err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	rep, err := replay.Run(&snap, replay.Overrides{
+		Machines: req.Machines, NetModel: req.NetModel, Queues: req.Queues,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.lastReplay = rep
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// parseEventsQuery extracts the ?since=<seq> and ?kind= filters of
+// GET /v1/events; ok is false after a malformed since (the handler has
+// already written the 400).
+func parseEventsQuery(w http.ResponseWriter, r *http.Request) (since uint64, kind string, ok bool) {
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				"since must be a non-negative integer sequence number")
+			return 0, "", false
+		}
+		since = n
+	}
+	return since, r.URL.Query().Get("kind"), true
+}

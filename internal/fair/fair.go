@@ -231,6 +231,17 @@ func (s *Scheduler) Config(name string) (QueueConfig, bool) {
 	return c, ok
 }
 
+// Configs returns every queue's declaration in Names order — the exact
+// inputs New was given, so a snapshot of the policy can rebuild an
+// equivalent Scheduler on the replay side.
+func (s *Scheduler) Configs() []QueueConfig {
+	out := make([]QueueConfig, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, s.cfgs[name])
+	}
+	return out
+}
+
 // Share is the queue's resolved fraction of the cluster (0 for unknown
 // queues).
 func (s *Scheduler) Share(name string) float64 { return s.shares[name] }

@@ -361,6 +361,13 @@ type QueueView struct {
 func (m *Master) Queues() []QueueView {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.queuesLocked()
+}
+
+// queuesLocked builds the per-queue views under a lock the caller
+// already holds, so Snapshot can capture queues in the same consistent
+// section as the plan and job state.
+func (m *Master) queuesLocked() []QueueView {
 	total := len(m.workers)
 	usage := m.usageLocked()
 	running := make(map[string]int)

@@ -108,6 +108,15 @@ func (l *journal) append(e Event) {
 
 // snapshot returns retained events in sequence order.
 func (l *journal) snapshot() []Event {
+	return l.snapshotSince(0, "")
+}
+
+// snapshotSince returns retained events with Seq > since matching kind
+// (every kind when empty), in sequence order. Filtering happens under
+// the journal's own lock — never the master's — and bounds the copy to
+// the slice actually requested, so an incremental poller pays for its
+// delta, not the whole ring.
+func (l *journal) snapshotSince(since uint64, kind string) []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := uint64(len(l.buf))
@@ -115,9 +124,19 @@ func (l *journal) snapshot() []Event {
 	if l.next > n {
 		lo = l.next - n + 1
 	}
+	if since >= lo {
+		lo = since + 1
+	}
+	if lo > l.next {
+		return nil
+	}
 	out := make([]Event, 0, l.next-lo+1)
 	for seq := lo; seq <= l.next; seq++ {
-		out = append(out, l.buf[(seq-1)%n])
+		e := l.buf[(seq-1)%n]
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		out = append(out, e)
 	}
 	return out
 }
@@ -181,9 +200,26 @@ func (m *Master) measuredLocked(name string, j *job) (iter, ucpu, unet float64) 
 // still running are enriched with their current measured values; frozen
 // measurements (stamped at completion) are kept as recorded.
 func (m *Master) Events() []Event {
+	return m.EventsSince(0, "")
+}
+
+// EventsSince returns journal events with Seq > since matching kind
+// (every kind when empty), oldest first, enriched like Events. The ring
+// copy happens under the journal's own lock before m.mu is touched, so
+// a polling /v1/events client never serializes the copy against the
+// admission path; the master lock is held (read side) only for the
+// measured-value lookups on live jobs.
+func (m *Master) EventsSince(since uint64, kind string) []Event {
+	evs := m.journal.snapshotSince(since, kind)
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	evs := m.journal.snapshot()
+	m.enrichEventsLocked(evs)
+	return evs
+}
+
+// enrichEventsLocked fills unmeasured events with their job's current
+// measured values. Caller holds at least m.mu's read side.
+func (m *Master) enrichEventsLocked(evs []Event) {
 	type meas struct{ iter, ucpu, unet float64 }
 	cache := make(map[string]meas)
 	for i := range evs {
@@ -202,5 +238,4 @@ func (m *Master) Events() []Event {
 		e.MeasuredCPUUtil = mv.ucpu
 		e.MeasuredNetUtil = mv.unet
 	}
-	return evs
 }

@@ -8,6 +8,7 @@ package profile
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -137,4 +138,45 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.jobs)
+}
+
+// Jobs lists every job with at least one observation, sorted by ID, so
+// state captures enumerate the store deterministically.
+func (s *Store) Jobs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DoPPoint is one per-DoP observation average — the raw input of the
+// sensitivity fit, exported so snapshots can carry the fit's evidence
+// (not just its result) across a capture/replay boundary.
+type DoPPoint struct {
+	DoP int `json:"dop"`
+	// CompSeconds is the averaged COMP subtask seconds observed at this
+	// DoP (per machine, not normalized to machine-seconds).
+	CompSeconds float64 `json:"comp_seconds"`
+	Samples     int     `json:"samples"`
+}
+
+// Points returns the job's per-DoP observation averages sorted by DoP;
+// nil when the job has never been observed.
+func (s *Store) Points(jobID string) []DoPPoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	perDoP := s.byDoP[jobID]
+	if len(perDoP) == 0 {
+		return nil
+	}
+	out := make([]DoPPoint, 0, len(perDoP))
+	for dop, st := range perDoP {
+		out = append(out, DoPPoint{DoP: dop, CompSeconds: st.Tcpu, Samples: st.Samples})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DoP < out[j].DoP })
+	return out
 }

@@ -1,0 +1,172 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"harmony/internal/master"
+	"harmony/internal/profile"
+	"harmony/internal/ps"
+)
+
+// Regenerate the golden corpus after an intentional schema or report
+// change with:
+//
+//	go test ./internal/replay/ -run Golden -update
+//	go test ./internal/replay/ -run SchemaGuard -update
+var update = flag.Bool("update", false, "rewrite golden snapshot/report/schema files")
+
+const (
+	goldenSnapshot = "../../examples/snapshots/two-tenant.json"
+	goldenReport   = "testdata/two-tenant.report.json"
+	goldenSchema   = "testdata/schema_v1.json"
+)
+
+func writeGolden(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenSnapshotRoundTrip pins the full pipeline against checked-in
+// bytes: the example snapshot loads, validates, and replays to exactly
+// the golden calibration report. A diff here means either the snapshot
+// schema or the replay semantics changed — both must be deliberate
+// (and the schema kind must bump SnapshotSchemaVersion).
+func TestGoldenSnapshotRoundTrip(t *testing.T) {
+	if *update {
+		snapBytes, err := json.MarshalIndent(testSnapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeGolden(t, goldenSnapshot, append(snapBytes, '\n'))
+		rep, err := Run(testSnapshot(), Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repBytes, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeGolden(t, goldenReport, repBytes)
+	}
+
+	raw, err := os.ReadFile(goldenSnapshot)
+	if err != nil {
+		t.Fatalf("read golden snapshot (regenerate with -update): %v", err)
+	}
+	snap, err := Load(raw)
+	if err != nil {
+		t.Fatalf("golden snapshot no longer loads: %v", err)
+	}
+	rep, err := Run(snap, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatalf("read golden report (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replay of the golden snapshot diverged from %s;\n"+
+			"if the change is intentional, regenerate with -update\ngot:\n%s",
+			goldenReport, got)
+	}
+
+	// The checked-in snapshot must also round-trip byte-identically
+	// through the current schema: decode → re-encode → same bytes.
+	// An unversioned field addition or tag rename breaks this.
+	re, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(re, '\n'), raw) {
+		t.Fatalf("golden snapshot does not round-trip through the current schema; " +
+			"bump master.SnapshotSchemaVersion for wire changes, then regenerate with -update")
+	}
+}
+
+// schemaProbe is a snapshot with every field populated, so any change
+// to the JSON shape — added field, renamed tag, changed type — shows up
+// as a byte diff against the schema golden.
+func schemaProbe() *master.Snapshot {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return &master.Snapshot{
+		SchemaVersion: master.SnapshotSchemaVersion,
+		CapturedAt:    t0,
+		Options: master.SnapshotOptions{
+			CPUWeight: 0.5, MemoryCapGB: 48, MinImprovement: 0.02,
+			MaxJobsPerGroup: 3, DisableSwapTuning: true, NetModel: true,
+		},
+		Workers: []string{"w0", "w1"},
+		Groups:  []master.SnapshotGroup{{Workers: []string{"w0"}, Jobs: []string{"j"}}},
+		Jobs: []master.SnapshotJob{{
+			Name: "j", State: "running", Algorithm: "NMF", Seed: 7, Alpha: 0.3,
+			Iterations: 100, MinWorkers: 1, MaxWorkers: 4,
+			Queue: "prod", Priority: 2, ArrivalSeq: 3, StartSeq: 4,
+			Iteration: 10, Workers: []string{"w0"}, CheckpointIteration: 9,
+			CompSeconds: 8, NetSeconds: 1, InputGB: 2, ModelGB: 0.5, WorkGB: 0.3,
+			JVMHeapFactor: 2.2, PullFrac: 0.6, CompFloorSeconds: 0.4,
+			Profiled: true, ProfileSamples: 5,
+			ProfilePoints: []profile.DoPPoint{
+				{DoP: 2, CompSeconds: 8, Samples: 3},
+				{DoP: 4, CompSeconds: 4.5, Samples: 2},
+			},
+			SensitivityDoPs:     2,
+			MeasuredIterSeconds: 5.2,
+			HoldReason:          "quota_exhausted", Resumable: true, ResumeIteration: 8,
+		}},
+		Queues: []master.QueueView{{
+			Name: "prod", Parent: "root", Weight: 3, Quota: 0.75, OverQuotaWeight: 3,
+			Share: 0.75, QuotaWorkers: 2, UsageWorkers: 1, Running: 1, Depth: 0,
+			Admitted: 5, Held: 2, Drained: 1, Preempted: 1, Canceled: 1,
+		}},
+		PS: &ps.ClusterStats{Servers: []ps.ServerStats{{Name: "w0", Addr: "127.0.0.1:1"}}},
+		Journal: []master.Event{{
+			Seq: 1, Time: t0, Kind: master.EventAdmitInitial, Job: "j",
+			Group:                []string{"w0"},
+			PredictedIterSeconds: 5, PredictedCPUUtil: 0.8, PredictedNetUtil: 0.2,
+			MeasuredIterSeconds: 5.2, MeasuredCPUUtil: 0.77, MeasuredNetUtil: 0.19,
+			PredictedCompatibility: 0.9, MeasuredCompatibility: 0.85,
+			Note: "note",
+		}},
+	}
+}
+
+// TestSnapshotSchemaGuard fails when the snapshot's JSON shape changes
+// without a version bump: the canonical marshal of a fully-populated
+// snapshot must match the checked-in schema golden for the current
+// SnapshotSchemaVersion.
+func TestSnapshotSchemaGuard(t *testing.T) {
+	got, err := json.MarshalIndent(schemaProbe(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *update {
+		writeGolden(t, goldenSchema, got)
+	}
+	want, err := os.ReadFile(goldenSchema)
+	if err != nil {
+		t.Fatalf("read schema golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot JSON shape changed without a schema version bump;\n"+
+			"bump master.SnapshotSchemaVersion, add testdata/schema_v%d.json, and "+
+			"regenerate this golden with -update",
+			master.SnapshotSchemaVersion+1)
+	}
+}

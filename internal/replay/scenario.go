@@ -1,0 +1,141 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"harmony/internal/master"
+	"harmony/internal/sim"
+	"harmony/internal/simtime"
+	"harmony/internal/workload"
+)
+
+// Scenario is a snapshot converted into simulator inputs: the live
+// cluster's unfinished work as a sim.Config plus an arrival trace, so
+// "what would this workload have done under regime X" questions run in
+// internal/sim instead of against the live cluster.
+type Scenario struct {
+	Config sim.Config `json:"config"`
+	Jobs   []sim.Job  `json:"jobs"`
+	// Skipped names jobs that could not convert (already finished, or
+	// missing cost metrics); conversion never drops work silently.
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// ToScenario converts a snapshot into a simulator scenario. Unfinished
+// jobs become workload specs with their remaining iterations; arrival
+// offsets come from each job's first journal event, measured from the
+// journal's start (jobs with no journaled arrival submit at time zero).
+// Overrides apply the same way they do in Run: machine count replaces
+// the captured cluster size, NetModel toggles the scheduler's model.
+// The conversion is deterministic — jobs sort by (arrival, name).
+func ToScenario(s *master.Snapshot, ov Overrides) (*Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	netModel := s.Options.NetModel
+	if ov.NetModel != nil {
+		netModel = *ov.NetModel
+	}
+	machines := len(s.Workers)
+	if ov.Machines > 0 {
+		machines = ov.Machines
+	}
+	sc := &Scenario{Config: sim.Config{
+		Machines: machines,
+		Mode:     sim.ModeHarmony,
+		Seed:     1,
+	}}
+	sc.Config.SchedOpts.CPUWeight = s.Options.CPUWeight
+	sc.Config.SchedOpts.MemoryCapGB = s.Options.MemoryCapGB
+	sc.Config.SchedOpts.MinImprovement = s.Options.MinImprovement
+	sc.Config.SchedOpts.MaxJobsPerGroup = s.Options.MaxJobsPerGroup
+	sc.Config.SchedOpts.DisableSwapTuning = s.Options.DisableSwapTuning
+	sc.Config.SchedOpts.NetModel = netModel
+
+	arrivals := arrivalOffsets(s.Journal)
+	for _, j := range s.Jobs {
+		spec, err := jobSpec(j)
+		if err != nil {
+			sc.Skipped = append(sc.Skipped, fmt.Sprintf("%s: %v", j.Name, err))
+			continue
+		}
+		sc.Jobs = append(sc.Jobs, sim.Job{Spec: spec, Arrival: arrivals[j.Name]})
+	}
+	sort.Slice(sc.Jobs, func(a, b int) bool {
+		if sc.Jobs[a].Arrival != sc.Jobs[b].Arrival {
+			return sc.Jobs[a].Arrival < sc.Jobs[b].Arrival
+		}
+		return sc.Jobs[a].Spec.ID < sc.Jobs[b].Spec.ID
+	})
+	return sc, nil
+}
+
+// jobSpec converts one snapshot job into a workload spec carrying its
+// remaining work.
+func jobSpec(j master.SnapshotJob) (workload.Spec, error) {
+	switch j.State {
+	case "finished", "canceled", "failed":
+		return workload.Spec{}, fmt.Errorf("state %s", j.State)
+	}
+	remaining := j.Iterations - j.Iteration
+	if remaining < 1 {
+		remaining = 1
+	}
+	spec := workload.Spec{
+		ID:  j.Name,
+		App: parseApp(j.Algorithm),
+		Data: workload.Dataset{
+			Name:    j.Name + "-data",
+			InputGB: j.InputGB,
+			ModelGB: j.ModelGB,
+		},
+		CompMachineSeconds: j.CompSeconds,
+		NetSeconds:         j.NetSeconds,
+		PullFrac:           j.PullFrac,
+		Iterations:         remaining,
+		WorkGB:             j.WorkGB,
+	}
+	if err := spec.Validate(); err != nil {
+		return workload.Spec{}, err
+	}
+	return spec, nil
+}
+
+// parseApp maps the journal's algorithm names (mlapp.Kind.String) onto
+// workload applications; unknown names fall back to MLR, the most
+// generic cost shape.
+func parseApp(name string) workload.App {
+	switch name {
+	case "NMF":
+		return workload.NMF
+	case "LDA":
+		return workload.LDA
+	case "Lasso":
+		return workload.Lasso
+	default:
+		return workload.MLR
+	}
+}
+
+// arrivalOffsets derives each job's submission offset from its first
+// journal event, relative to the journal's first event. Only times the
+// snapshot itself carries are used — the conversion never reads the
+// clock.
+func arrivalOffsets(events []master.Event) map[string]simtime.Time {
+	out := make(map[string]simtime.Time)
+	if len(events) == 0 {
+		return out
+	}
+	epoch := events[0].Time
+	for _, e := range events {
+		if e.Job == "" {
+			continue
+		}
+		if _, seen := out[e.Job]; seen {
+			continue
+		}
+		out[e.Job] = simtime.Time(simtime.FromSeconds(e.Time.Sub(epoch).Seconds()))
+	}
+	return out
+}

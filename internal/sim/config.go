@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"harmony/internal/cluster"
@@ -46,6 +47,47 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
+}
+
+// ParseMode maps a regime name back to its Mode; it accepts exactly the
+// strings String produces.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "harmony":
+		return ModeHarmony, nil
+	case "isolated":
+		return ModeIsolated, nil
+	case "naive":
+		return ModeNaive, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown mode %q", s)
+	}
+}
+
+// MarshalJSON encodes the mode by name so scenario files (replay
+// what-ifs, saved configs) stay readable and stable across reorderings
+// of the constant block.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts either the name or the legacy integer form.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, perr := ParseMode(s)
+		if perr != nil {
+			return perr
+		}
+		*m = v
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("sim: mode must be a name or integer: %s", data)
+	}
+	*m = Mode(n)
+	return nil
 }
 
 // Defaults for the simulation constants; see Config.
